@@ -1,0 +1,156 @@
+package sgr_test
+
+import (
+	"testing"
+
+	"sgr/internal/core"
+	"sgr/internal/estimate"
+	"sgr/internal/graph"
+	"sgr/internal/props"
+	"sgr/internal/sampling"
+)
+
+// BenchmarkAblationSimpleGraph compares default (multigraph-permitting)
+// rewiring against the ForbidDegenerate extension: the latter should leave
+// fewer multi-edges at similar cost.
+func BenchmarkAblationSimpleGraph(b *testing.B) {
+	g := benchDataset(b, "anybeat", 0.1)
+	crawl, err := sampling.RandomWalk(sampling.NewGraphAccess(g), 0, 0.10, benchRNG(20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, forbid := range []bool{false, true} {
+		name := "multigraph"
+		if forbid {
+			name = "simple"
+		}
+		b.Run(name, func(b *testing.B) {
+			var multi float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Restore(crawl, core.Options{
+					RC: 20, ForbidDegenerate: forbid, Rand: benchRNG(uint64(i)),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				multi = float64(res.Graph.CountMultiEdges())
+			}
+			b.ReportMetric(multi, "multiEdges")
+		})
+	}
+}
+
+// BenchmarkAblationOracleEstimates isolates estimation error from
+// construction error: the proposed pipeline fed exact properties of the
+// hidden graph versus walk-based estimates.
+func BenchmarkAblationOracleEstimates(b *testing.B) {
+	g := benchDataset(b, "anybeat", 0.1)
+	crawl, err := sampling.RandomWalk(sampling.NewGraphAccess(g), 0, 0.10, benchRNG(21))
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracle := oracleEstimatesOf(g)
+	nTrue := float64(g.N())
+
+	b.Run("oracle", func(b *testing.B) {
+		var relErr float64
+		for i := 0; i < b.N; i++ {
+			res, err := core.RestoreWithEstimates(crawl, oracle, core.Options{RC: 10, Rand: benchRNG(uint64(i))})
+			if err != nil {
+				b.Fatal(err)
+			}
+			relErr = absf(float64(res.Graph.N())-nTrue) / nTrue
+		}
+		b.ReportMetric(relErr, "nRelErr")
+	})
+	b.Run("estimated", func(b *testing.B) {
+		var relErr float64
+		for i := 0; i < b.N; i++ {
+			res, err := core.Restore(crawl, core.Options{RC: 10, Rand: benchRNG(uint64(i))})
+			if err != nil {
+				b.Fatal(err)
+			}
+			relErr = absf(float64(res.Graph.N())-nTrue) / nTrue
+		}
+		b.ReportMetric(relErr, "nRelErr")
+	})
+}
+
+func oracleEstimatesOf(g *graph.Graph) *estimate.Estimates {
+	dd := make(map[int]float64)
+	for u := 0; u < g.N(); u++ {
+		dd[g.Degree(u)]++
+	}
+	for k := range dd {
+		dd[k] /= float64(g.N())
+	}
+	jdd := make(map[estimate.DegreePair]float64)
+	twoM := 2 * float64(g.M())
+	for kk, c := range g.JointDegreeMatrix() {
+		mu := 1.0
+		if kk[0] == kk[1] {
+			mu = 2.0
+		}
+		jdd[estimate.Pair(kk[0], kk[1])] = mu * float64(c) / twoM
+	}
+	return &estimate.Estimates{
+		N:          float64(g.N()),
+		Collisions: 1,
+		AvgDeg:     g.AvgDegree(),
+		DegreeDist: dd,
+		JDD:        jdd,
+		Clustering: props.DegreeClustering(g),
+		Lag:        1,
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// BenchmarkAblationWalkVariants compares the average-degree estimation
+// error of the simple random walk against the non-backtracking walk,
+// Metropolis-Hastings walk, and frontier sampling under the same budget
+// (the related-work alternatives of Sec. II).
+func BenchmarkAblationWalkVariants(b *testing.B) {
+	g := benchDataset(b, "anybeat", 0.3)
+	truth := g.AvgDegree()
+	type variant struct {
+		name string
+		run  func(seed uint64) (*sampling.Crawl, error)
+	}
+	variants := []variant{
+		{"simple", func(s uint64) (*sampling.Crawl, error) {
+			return sampling.RandomWalk(sampling.NewGraphAccess(g), 0, 0.10, benchRNG(s))
+		}},
+		{"nonBacktracking", func(s uint64) (*sampling.Crawl, error) {
+			return sampling.NonBacktrackingWalk(sampling.NewGraphAccess(g), 0, 0.10, benchRNG(s))
+		}},
+		{"metropolisHastings", func(s uint64) (*sampling.Crawl, error) {
+			return sampling.MetropolisHastingsWalk(sampling.NewGraphAccess(g), 0, 0.10, benchRNG(s))
+		}},
+		{"frontier", func(s uint64) (*sampling.Crawl, error) {
+			return sampling.FrontierSampling(sampling.NewGraphAccess(g), []int{0, 1, 2, 3}, 0.10, benchRNG(s))
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var relErr float64
+			for i := 0; i < b.N; i++ {
+				c, err := v.run(uint64(100 + i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				w, err := estimate.NewWalk(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				relErr = absf(w.AvgDegree()-truth) / truth
+			}
+			b.ReportMetric(relErr, "kbarRelErr")
+		})
+	}
+}

@@ -1,0 +1,79 @@
+// Command gengraph generates synthetic social-graph datasets — the
+// stand-ins for the paper's Table I graphs — or generic random graphs, and
+// writes them as edge-list files.
+//
+// Usage:
+//
+//	gengraph -dataset anybeat -scale 0.1 -seed 1 -out anybeat.edges
+//	gengraph -model hk -n 10000 -m 4 -p 0.5 -seed 1 -out hk.edges
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"os"
+
+	"sgr/internal/gen"
+	"sgr/internal/graph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gengraph: ")
+	var (
+		dataset = flag.String("dataset", "", "paper dataset stand-in (anybeat, brightkite, epinions, slashdot, gowalla, livemocha, youtube)")
+		scale   = flag.Float64("scale", 0.1, "node-count scale factor for -dataset")
+		model   = flag.String("model", "", "generic model: er, ba, hk, ws, config")
+		n       = flag.Int("n", 1000, "node count for -model")
+		m       = flag.Int("m", 4, "edges per node (ba/hk), total edges (er), ring degree (ws)")
+		p       = flag.Float64("p", 0.5, "triad probability (hk) / rewire probability (ws)")
+		gamma   = flag.Float64("gamma", 2.5, "power-law exponent (config)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		out     = flag.String("out", "", "output edge-list path (default stdout)")
+	)
+	flag.Parse()
+
+	r := rand.New(rand.NewPCG(*seed, *seed^0x5bd1e995))
+	var g *graph.Graph
+	switch {
+	case *dataset != "":
+		d, err := gen.ByName(*dataset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g = d.Build(*scale, r)
+	case *model != "":
+		switch *model {
+		case "er":
+			g = gen.ErdosRenyiGNM(*n, *m, r)
+		case "ba":
+			g = gen.BarabasiAlbert(*n, *m, r)
+		case "hk":
+			g = gen.HolmeKim(*n, *m, *p, r)
+		case "ws":
+			g = gen.WattsStrogatz(*n, *m, *p, r)
+		case "config":
+			degrees := gen.PowerLawDegrees(*n, *gamma, 1, *n/10+2, r)
+			g = gen.ConfigurationModel(degrees, r)
+		default:
+			log.Fatalf("unknown model %q", *model)
+		}
+		clean, _ := graph.Preprocess(g)
+		g = clean
+	default:
+		log.Fatal("one of -dataset or -model is required")
+	}
+
+	fmt.Fprintf(os.Stderr, "generated graph: n=%d m=%d avg degree=%.2f\n", g.N(), g.M(), g.AvgDegree())
+	if *out == "" {
+		if err := graph.WriteEdgeList(os.Stdout, g); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := graph.SaveEdgeList(*out, g); err != nil {
+		log.Fatal(err)
+	}
+}

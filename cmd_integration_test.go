@@ -1,0 +1,91 @@
+package sgr_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runTool runs one of the repository's commands via `go run` and returns
+// its combined output.
+func runTool(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+// TestCLIPipeline drives the full command-line workflow: generate a
+// dataset stand-in, crawl it, restore from the walk, and analyze the
+// result — the contract a downstream user scripts against.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline is slow (go run compiles each tool)")
+	}
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.edges")
+	subPath := filepath.Join(dir, "sub.edges")
+	restoredPath := filepath.Join(dir, "restored.edges")
+
+	out := runTool(t, "./cmd/gengraph", "-dataset", "anybeat", "-scale", "0.05", "-seed", "3", "-out", graphPath)
+	if !strings.Contains(out, "generated graph") {
+		t.Fatalf("gengraph output: %s", out)
+	}
+	if _, err := os.Stat(graphPath); err != nil {
+		t.Fatal(err)
+	}
+
+	out = runTool(t, "./cmd/crawl", "-graph", graphPath, "-method", "rw",
+		"-fraction", "0.1", "-seed", "3", "-out", subPath)
+	if !strings.Contains(out, "subgraph") {
+		t.Fatalf("crawl output: %s", out)
+	}
+
+	out = runTool(t, "./cmd/restore", "-graph", graphPath, "-fraction", "0.1",
+		"-rc", "5", "-seed", "3", "-out", restoredPath, "-compare=false")
+	if !strings.Contains(out, "restored:") {
+		t.Fatalf("restore output: %s", out)
+	}
+
+	out = runTool(t, "./cmd/props", "-graph", restoredPath, "-against", graphPath)
+	if !strings.Contains(out, "Normalized L1 distances") || !strings.Contains(out, "avg") {
+		t.Fatalf("props output: %s", out)
+	}
+
+	// Offline workflow: persist the sampling list, then restore from it
+	// without access to the original graph.
+	crawlPath := filepath.Join(dir, "crawl.json")
+	runTool(t, "./cmd/crawl", "-graph", graphPath, "-method", "rw",
+		"-fraction", "0.1", "-seed", "3", "-out", subPath, "-save-crawl", crawlPath)
+	out = runTool(t, "./cmd/restore", "-crawl", crawlPath, "-rc", "5", "-seed", "3",
+		"-out", filepath.Join(dir, "offline.edges"))
+	if !strings.Contains(out, "restored:") {
+		t.Fatalf("offline restore output: %s", out)
+	}
+}
+
+// TestCLIExperimentSmoke runs the experiment driver on its smallest
+// configuration to guard the artifact-regeneration entry point.
+func TestCLIExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke is slow")
+	}
+	dir := t.TempDir()
+	out := runTool(t, "./cmd/experiment", "-exp", "fig4", "-scale", "0.02",
+		"-rc", "2", "-seed", "4", "-out", dir)
+	if !strings.Contains(out, "fig4-proposed.svg") {
+		t.Fatalf("experiment output: %s", out)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 7 {
+		t.Fatalf("expected >=7 SVGs, got %d", len(entries))
+	}
+}

@@ -1,0 +1,53 @@
+// dK-series: the generative-model family underlying the restoration method
+// (Sec. III-C), demonstrated standalone.
+//
+// For a Holme–Kim social graph it generates 0K, 1K, 2K and 2.5K random
+// graphs — each preserving one more level of local structure — and reports
+// how each level reproduces clustering, path lengths and the Schieber et
+// al. dissimilarity against the original, reproducing the qualitative
+// message of Mahadevan et al. and Gjoka et al.: fidelity grows with d.
+//
+// Run with: go run ./examples/dkseries
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"sgr/internal/dkseries"
+	"sgr/internal/gen"
+	"sgr/internal/graph"
+	"sgr/internal/props"
+)
+
+func main() {
+	log.SetFlags(0)
+	r := rand.New(rand.NewPCG(99, 100))
+	original := gen.HolmeKim(1200, 4, 0.7, r)
+	origProps := props.Compute(original, props.Options{})
+	fmt.Printf("original: n=%d m=%d cbar=%.3f lbar=%.2f\n\n",
+		original.N(), original.M(), origProps.GlobalClustering, origProps.AvgPathLen)
+	fmt.Printf("%-6s %10s %10s %10s %14s\n", "model", "cbar", "lbar", "lambda1", "dissimilarity")
+	report := func(name string, g *graph.Graph) {
+		p := props.Compute(g, props.Options{})
+		d := props.Dissimilarity(original, g, props.Options{})
+		fmt.Printf("%-6s %10.3f %10.2f %10.2f %14.4f\n",
+			name, p.GlobalClustering, p.AvgPathLen, p.Lambda1, d)
+	}
+
+	report("0K", dkseries.DK0(original, r))
+	report("1K", dkseries.DK1(original, r))
+	d2, err := dkseries.DK2(original, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("2K", d2)
+	d25, stats, err := dkseries.DK25(original, 50, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("2.5K", d25)
+	fmt.Printf("\n2.5K rewiring: clustering L1 %.3f -> %.3f (%d/%d swaps accepted)\n",
+		stats.InitialL1, stats.FinalL1, stats.Accepted, stats.Attempts)
+}

@@ -1,0 +1,68 @@
+// Estimators: convergence of the re-weighted random-walk estimators
+// (Sec. III-E) as the walk grows.
+//
+// It prints, for increasing walk lengths, the estimates of the number of
+// nodes, average degree and mean clustering against the ground truth —
+// the measurement layer the restoration method is built on.
+//
+// Run with: go run ./examples/estimators
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"sgr"
+	"sgr/internal/gen"
+	"sgr/internal/sampling"
+)
+
+func main() {
+	log.SetFlags(0)
+	r := rand.New(rand.NewPCG(7, 11))
+	g := gen.HolmeKim(5000, 4, 0.6, r)
+
+	trueAvgDeg := g.AvgDegree()
+	trueCluster := meanMap(clusteringTruth(g))
+	fmt.Printf("ground truth: n=%d kbar=%.3f mean c(k)=%.3f\n\n",
+		g.N(), trueAvgDeg, trueCluster)
+	fmt.Printf("%8s %12s %12s %12s %12s\n", "steps", "n-hat", "err%", "kbar-hat", "mean c-hat")
+
+	for _, steps := range []int{500, 1000, 2000, 5000, 10000, 20000} {
+		c, err := sampling.RandomWalkSteps(sampling.NewGraphAccess(g), 0, steps, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, err := sgr.Estimate(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		errPct := 100 * abs(est.N-float64(g.N())) / float64(g.N())
+		fmt.Printf("%8d %12.0f %11.1f%% %12.3f %12.3f\n",
+			steps, est.N, errPct, est.AvgDeg, meanMap(est.Clustering))
+	}
+}
+
+// clusteringTruth returns the exact degree-dependent clustering of g.
+func clusteringTruth(g *sgr.Graph) map[int]float64 {
+	return sgr.ComputeProperties(g, sgr.PropertyOptions{}).DegreeClustering
+}
+
+func meanMap(m map[int]float64) float64 {
+	if len(m) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	return s / float64(len(m))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,56 @@
+// Private-nodes: restoration when part of the network hides its friend
+// lists (the extension setting of Nakajima & Shudo, KDD 2020, cited in the
+// paper's related work).
+//
+// A fraction of users is marked private; the private-aware walk never
+// steps onto them (their lists are unavailable), and the restoration works
+// from the public sample alone. The example reports how accuracy degrades
+// as the private share grows.
+//
+// Run with: go run ./examples/private_nodes
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"sgr"
+	"sgr/internal/gen"
+	"sgr/internal/metrics"
+	"sgr/internal/sampling"
+)
+
+func main() {
+	log.SetFlags(0)
+	r := rand.New(rand.NewPCG(77, 78))
+	g := gen.HolmeKim(2000, 4, 0.5, r)
+	origProps := sgr.ComputeProperties(g, sgr.PropertyOptions{})
+	fmt.Printf("original: n=%d m=%d\n\n", g.N(), g.M())
+	fmt.Printf("%12s %12s %14s %12s\n", "private %", "queried", "restored n", "avg L1")
+
+	for _, pctPrivate := range []float64{0, 0.05, 0.10, 0.20} {
+		// Mark a random subset private (never the walk seed).
+		var private []int
+		for u := 1; u < g.N(); u++ {
+			if r.Float64() < pctPrivate {
+				private = append(private, u)
+			}
+		}
+		access := sampling.NewPrivateAccess(sampling.NewGraphAccess(g), private)
+		crawl, err := sampling.PrivateAwareWalk(access, 0, 0.10, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sgr.Restore(crawl, sgr.Options{RC: 30, Rand: r})
+		if err != nil {
+			log.Fatal(err)
+		}
+		got := sgr.ComputeProperties(res.Graph, sgr.PropertyOptions{})
+		avg := metrics.Mean(sgr.CompareL1(got, origProps))
+		fmt.Printf("%11.0f%% %12d %14d %12.3f\n",
+			100*pctPrivate, crawl.NumQueried(), res.Graph.N(), avg)
+	}
+	fmt.Println("\nprivate nodes bias the walk toward the public subgraph; accuracy")
+	fmt.Println("degrades gracefully while the pipeline keeps working end to end.")
+}

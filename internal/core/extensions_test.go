@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"sgr/internal/estimate"
+	"sgr/internal/props"
+)
+
+// oracleEstimates builds exact estimates from the original graph, as if the
+// estimators were perfect.
+func oracleEstimates(t *testing.T, gN int, avg float64, dd map[int]float64,
+	jdd map[estimate.DegreePair]float64, cl map[int]float64) *estimate.Estimates {
+	t.Helper()
+	return &estimate.Estimates{
+		N:          float64(gN),
+		Collisions: 1,
+		AvgDeg:     avg,
+		DegreeDist: dd,
+		JDD:        jdd,
+		Clustering: cl,
+		Lag:        1,
+	}
+}
+
+func TestRestoreWithOracleEstimates(t *testing.T) {
+	g := testOriginal(t, 70)
+	c := crawlOn(t, g, 0.10, 71)
+
+	// Exact properties of the hidden graph.
+	dd := make(map[int]float64)
+	for u := 0; u < g.N(); u++ {
+		dd[g.Degree(u)]++
+	}
+	for k := range dd {
+		dd[k] /= float64(g.N())
+	}
+	jdd := make(map[estimate.DegreePair]float64)
+	twoM := 2 * float64(g.M())
+	for kk, cnt := range g.JointDegreeMatrix() {
+		mu := 1.0
+		if kk[0] == kk[1] {
+			mu = 2.0
+		}
+		jdd[estimate.Pair(kk[0], kk[1])] = mu * float64(cnt) / twoM
+	}
+	cl := props.DegreeClustering(g)
+
+	est := oracleEstimates(t, g.N(), g.AvgDegree(), dd, jdd, cl)
+	res, err := RestoreWithEstimates(c, est, Options{RC: 10, Rand: rng(72)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRealizes(t, res)
+	// With oracle estimates the restored size must land very close to n.
+	if d := float64(res.Graph.N()-g.N()) / float64(g.N()); d > 0.05 || d < -0.05 {
+		t.Fatalf("oracle restoration size off by %.1f%%", 100*d)
+	}
+	// And the noisy-estimate restoration should be no closer on n than the
+	// oracle one (sanity of the ablation direction).
+	noisy, err := Restore(c, Options{RC: 10, Rand: rng(73)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleErr := abs(res.Graph.N() - g.N())
+	noisyErr := abs(noisy.Graph.N() - g.N())
+	if oracleErr > noisyErr {
+		t.Logf("note: oracle n-error %d > noisy %d (possible on lucky walks)", oracleErr, noisyErr)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestRestoreForbidDegenerateReducesMultiEdges(t *testing.T) {
+	g := testOriginal(t, 80)
+	c := crawlOn(t, g, 0.10, 81)
+	plain, err := Restore(c, Options{RC: 20, Rand: rng(82)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simple, err := Restore(c, Options{RC: 20, ForbidDegenerate: true, Rand: rng(82)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRealizes(t, simple)
+	if simple.Graph.CountMultiEdges() > plain.Graph.CountMultiEdges() {
+		t.Fatalf("ForbidDegenerate increased degeneracy: %d > %d",
+			simple.Graph.CountMultiEdges(), plain.Graph.CountMultiEdges())
+	}
+}
+
+func TestRestoreWithEstimatesRequiresRand(t *testing.T) {
+	g := testOriginal(t, 90)
+	c := crawlOn(t, g, 0.05, 91)
+	if _, err := RestoreWithEstimates(c, &estimate.Estimates{}, Options{}); err == nil {
+		t.Fatal("want error without Rand")
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import "math/rand/v2"
+
+// fenwick is a Fenwick (binary indexed) tree over degrees 1..n used to draw
+// uniformly from the target-degree multiset Dseq(i) of Algorithm 2 without
+// materializing it: entry k holds n*(k) - n'(k), and a weighted draw from
+// [lo, n] takes O(log n).
+type fenwick struct {
+	n    int
+	tree []int
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{n: n, tree: make([]int, n+1)} }
+
+// add increases the weight at index i (1-based) by delta.
+func (f *fenwick) add(i, delta int) {
+	for ; i <= f.n; i += i & -i {
+		f.tree[i] += delta
+	}
+}
+
+// prefix returns the sum of weights in [1, i].
+func (f *fenwick) prefix(i int) int {
+	s := 0
+	for ; i > 0; i -= i & -i {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// rangeSum returns the sum of weights in [lo, hi].
+func (f *fenwick) rangeSum(lo, hi int) int {
+	if lo > hi {
+		return 0
+	}
+	if lo <= 1 {
+		return f.prefix(hi)
+	}
+	return f.prefix(hi) - f.prefix(lo-1)
+}
+
+// sample draws an index from [lo, hi] with probability proportional to its
+// weight, or returns -1 if the range holds no weight.
+func (f *fenwick) sample(lo, hi int, r *rand.Rand) int {
+	w := f.rangeSum(lo, hi)
+	if w <= 0 {
+		return -1
+	}
+	// Target cumulative rank within [1, hi].
+	base := 0
+	if lo > 1 {
+		base = f.prefix(lo - 1)
+	}
+	target := base + 1 + r.IntN(w)
+	// Find smallest i with prefix(i) >= target by descending the tree.
+	idx := 0
+	acc := 0
+	bit := 1
+	for bit<<1 <= f.n {
+		bit <<= 1
+	}
+	for ; bit > 0; bit >>= 1 {
+		next := idx + bit
+		if next <= f.n && acc+f.tree[next] < target {
+			idx = next
+			acc += f.tree[next]
+		}
+	}
+	return idx + 1
+}

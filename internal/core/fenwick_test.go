@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestFenwickPrefixAndRange(t *testing.T) {
+	f := newFenwick(10)
+	f.add(3, 5)
+	f.add(7, 2)
+	f.add(10, 1)
+	if got := f.prefix(2); got != 0 {
+		t.Fatalf("prefix(2) = %d", got)
+	}
+	if got := f.prefix(3); got != 5 {
+		t.Fatalf("prefix(3) = %d", got)
+	}
+	if got := f.prefix(10); got != 8 {
+		t.Fatalf("prefix(10) = %d", got)
+	}
+	if got := f.rangeSum(4, 10); got != 3 {
+		t.Fatalf("rangeSum(4,10) = %d", got)
+	}
+	if got := f.rangeSum(8, 6); got != 0 {
+		t.Fatalf("rangeSum(8,6) = %d", got)
+	}
+	f.add(3, -5)
+	if got := f.prefix(10); got != 3 {
+		t.Fatalf("after removal prefix(10) = %d", got)
+	}
+}
+
+func TestFenwickSampleRespectsRangeAndWeights(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	f := newFenwick(8)
+	f.add(2, 10)
+	f.add(5, 30)
+	f.add(8, 60)
+	counts := make(map[int]int)
+	for i := 0; i < 10000; i++ {
+		k := f.sample(1, 8, r)
+		if k != 2 && k != 5 && k != 8 {
+			t.Fatalf("sampled impossible index %d", k)
+		}
+		counts[k]++
+	}
+	// Expected proportions 10%, 30%, 60%.
+	if counts[2] < 600 || counts[2] > 1400 {
+		t.Errorf("weight-2 count %d far from 1000", counts[2])
+	}
+	if counts[8] < 5400 || counts[8] > 6600 {
+		t.Errorf("weight-8 count %d far from 6000", counts[8])
+	}
+	// Range restriction excludes index 2.
+	for i := 0; i < 200; i++ {
+		if k := f.sample(3, 8, r); k != 5 && k != 8 {
+			t.Fatalf("range sample returned %d", k)
+		}
+	}
+	// Empty range.
+	if k := f.sample(6, 7, r); k != -1 {
+		t.Fatalf("empty range sample = %d want -1", k)
+	}
+}
+
+func TestFenwickSampleSingleton(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	f := newFenwick(5)
+	f.add(4, 1)
+	for i := 0; i < 20; i++ {
+		if k := f.sample(1, 5, r); k != 4 {
+			t.Fatalf("singleton sample = %d", k)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"sgr/internal/dkseries"
+	"sgr/internal/estimate"
+	"sgr/internal/gen"
+	"sgr/internal/sampling"
+)
+
+// randomEstimates fabricates a syntactically valid but statistically
+// arbitrary estimate set: the phases must still produce realizable targets
+// (or fail with a clean error) no matter how noisy the estimators were.
+func randomEstimates(r *rand.Rand) *estimate.Estimates {
+	kmax := 2 + r.IntN(30)
+	nDegrees := 1 + r.IntN(kmax)
+	dd := make(map[int]float64)
+	total := 0.0
+	for i := 0; i < nDegrees; i++ {
+		k := 1 + r.IntN(kmax)
+		w := r.Float64()
+		dd[k] += w
+		total += w
+	}
+	for k := range dd {
+		dd[k] /= total
+	}
+	jdd := make(map[estimate.DegreePair]float64)
+	degrees := make([]int, 0, len(dd))
+	for k := range dd {
+		degrees = append(degrees, k)
+	}
+	jTotal := 0.0
+	for i := 0; i < 1+r.IntN(3*len(degrees)); i++ {
+		a := degrees[r.IntN(len(degrees))]
+		b := degrees[r.IntN(len(degrees))]
+		w := r.Float64()
+		jdd[estimate.Pair(a, b)] += w
+		jTotal += w
+	}
+	for kk := range jdd {
+		jdd[kk] /= jTotal
+	}
+	cl := make(map[int]float64)
+	for _, k := range degrees {
+		if k >= 2 {
+			cl[k] = r.Float64()
+		}
+	}
+	return &estimate.Estimates{
+		N:          10 + 500*r.Float64(),
+		Collisions: 1,
+		AvgDeg:     1 + 9*r.Float64(),
+		DegreeDist: dd,
+		JDD:        jdd,
+		Clustering: cl,
+		Lag:        1,
+	}
+}
+
+// TestPhasesSurviveArbitraryEstimates drives phases 1-2 with fabricated
+// estimates, without a subgraph (the Gjoka path): the resulting targets
+// must always satisfy DV-1..2 and JDM-1..3.
+func TestPhasesSurviveArbitraryEstimates(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		r := rng(uint64(1000 + trial))
+		est := randomEstimates(r)
+		dvs, _, err := buildTargetDegreeVector(est, nil, r)
+		if err != nil {
+			t.Fatalf("trial %d phase 1: %v", trial, err)
+		}
+		jdm, err := buildTargetJDM(est, dvs.dv, nil, nil, r)
+		if err != nil {
+			t.Fatalf("trial %d phase 2: %v", trial, err)
+		}
+		if err := dvs.dv.Check(); err != nil {
+			t.Fatalf("trial %d DV: %v", trial, err)
+		}
+		if err := jdm.Check(dvs.dv); err != nil {
+			t.Fatalf("trial %d JDM: %v", trial, err)
+		}
+	}
+}
+
+// TestPhasesSurviveEstimateSubgraphMismatch drives the full proposed
+// pipeline with estimates fabricated independently of the crawl: the
+// modification steps must reconcile any such mismatch into valid targets.
+func TestPhasesSurviveEstimateSubgraphMismatch(t *testing.T) {
+	g := gen.HolmeKim(400, 3, 0.5, rng(2000))
+	for trial := 0; trial < 30; trial++ {
+		r := rng(uint64(3000 + trial))
+		c, err := sampling.RandomWalk(sampling.NewGraphAccess(g), r.IntN(g.N()), 0.05, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := randomEstimates(r)
+		res, err := RestoreWithEstimates(c, est, Options{SkipRewiring: true, Rand: r})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkRealizes(t, res)
+		// The subgraph must be embedded regardless of estimate garbage.
+		for _, e := range res.Subgraph.Graph.Edges() {
+			if !res.Graph.HasEdge(e.U, e.V) {
+				t.Fatalf("trial %d: subgraph edge (%d,%d) lost", trial, e.U, e.V)
+			}
+		}
+	}
+}
+
+// TestAdjustJDMRespectsLowerLimits feeds Algorithm 3 explicit lower limits
+// and checks they are honored.
+func TestAdjustJDMRespectsLowerLimits(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		r := rng(uint64(4000 + trial))
+		est := randomEstimates(r)
+		dvs, _, err := buildTargetDegreeVector(est, nil, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := initJDM(est, dvs.dv)
+		if err := s.adjustJDM(nil, r); err != nil {
+			t.Fatal(err)
+		}
+		// Freeze the current matrix as lower limits, stress with another
+		// adjustment round after raising some row targets.
+		mmin := s.jdm.Clone()
+		k := 1 + r.IntN(dvs.dv.KMax())
+		dvs.dv[k] += 1 + r.IntN(3)
+		if err := s.adjustJDM(mmin, r); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.jdm.CheckAgainstBase(mmin); err != nil {
+			t.Fatalf("trial %d: lower limits violated: %v", trial, err)
+		}
+		if err := s.jdm.Check(dvs.dv); err != nil {
+			t.Fatalf("trial %d: JDM-3 after stress: %v", trial, err)
+		}
+	}
+}
+
+// TestBuildRealizesFuzzedTargets closes the loop: fuzzed targets from the
+// phases are handed to the dkseries builder, which must realize them
+// exactly from an empty base.
+func TestBuildRealizesFuzzedTargets(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		r := rng(uint64(5000 + trial))
+		est := randomEstimates(r)
+		dvs, _, err := buildTargetDegreeVector(est, nil, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jdm, err := buildTargetJDM(est, dvs.dv, nil, nil, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dkseries.Build(nil, nil, dvs.dv, jdm, r)
+		if err != nil {
+			t.Fatalf("trial %d build: %v", trial, err)
+		}
+		got, err := dkseries.FromGraph(res.Graph)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for k := 1; k <= dvs.dv.KMax(); k++ {
+			want := dvs.dv[k]
+			have := 0
+			if k <= got.KMax() {
+				have = got[k]
+			}
+			if want != have {
+				t.Fatalf("trial %d: n(%d) = %d want %d", trial, k, have, want)
+			}
+		}
+	}
+}

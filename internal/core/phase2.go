@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"sgr/internal/dkseries"
+	"sgr/internal/estimate"
+	"sgr/internal/graph"
+)
+
+// jdmState carries the target joint degree matrix under construction with
+// the estimate-derived quantities behind the error terms Delta+-.
+type jdmState struct {
+	jdm  *dkseries.JDM
+	mHat map[[2]int]float64 // m-hat(k,k') = n-hat kbar-hat P-hat(k,k')/mu
+	dv   dkseries.DegreeVector
+}
+
+func jdmKey(k, kp int) [2]int {
+	if k > kp {
+		k, kp = kp, k
+	}
+	return [2]int{k, kp}
+}
+
+// deltaAdd is the relative-error increase of m*(k,k') when changing it by
+// +1 (dir=+1) or -1 (dir=-1); +Inf where the estimate gives no mass.
+func (s *jdmState) deltaAdd(k, kp, dir int) float64 {
+	mh, ok := s.mHat[jdmKey(k, kp)]
+	if !ok || mh <= 0 {
+		return math.Inf(1)
+	}
+	cur := float64(s.jdm.Get(k, kp))
+	return (math.Abs(mh-(cur+float64(dir))) - math.Abs(mh-cur)) / mh
+}
+
+// initJDM performs the initialization step of Sec. IV-C-1:
+// m*(k,k') = max(NearInt(n-hat kbar-hat P-hat(k,k')/mu), 1) where the
+// estimated joint degree distribution has mass.
+func initJDM(est *estimate.Estimates, dv dkseries.DegreeVector) *jdmState {
+	kmax := dv.KMax()
+	s := &jdmState{
+		jdm:  dkseries.NewJDM(kmax),
+		mHat: make(map[[2]int]float64, len(est.JDD)),
+		dv:   dv,
+	}
+	for kk, p := range est.JDD {
+		if p <= 0 || kk.K < 1 || kk.Kp > kmax {
+			continue
+		}
+		mu := 1.0
+		if kk.K == kk.Kp {
+			mu = 2.0
+		}
+		mh := est.N * est.AvgDeg * p / mu
+		s.mHat[jdmKey(kk.K, kk.Kp)] = mh
+		m := nearInt(mh)
+		if m < 1 {
+			m = 1
+		}
+		s.jdm.Add(kk.K, kk.Kp, m)
+	}
+	return s
+}
+
+// maxAdjustSteps caps the Algorithm-3 loop; it is a defensive bound far
+// above what any valid input needs, turning a would-be hang into an error.
+const maxAdjustSteps = 50_000_000
+
+// adjustJDM implements Algorithm 3: make s(k) = k*n*(k) hold for every
+// degree (JDM-3) by incrementing/decrementing cells, never dropping below
+// mmin (nil means all-zero), possibly raising n*(k) when decrements are
+// blocked. Processes degrees in decreasing order; within an adjustment only
+// columns in the initial disequilibrium set D (plus degree 1) are touched.
+func (s *jdmState) adjustJDM(mmin *dkseries.JDM, r *rand.Rand) error {
+	kmax := s.dv.KMax()
+	minAt := func(k, kp int) int {
+		if mmin == nil {
+			return 0
+		}
+		return mmin.Get(k, kp)
+	}
+	// D = {k : s(k) != s*(k)} ∪ {1}, iterated in decreasing order.
+	inD := make([]bool, kmax+1)
+	var d []int // ascending
+	for k := 1; k <= kmax; k++ {
+		if k == 1 || s.jdm.RowSum(k) != k*s.dv[k] {
+			inD[k] = true
+			d = append(d, k)
+		}
+	}
+
+	steps := 0
+	var cands []int
+	for di := len(d) - 1; di >= 0; di-- {
+		k := d[di]
+		sk := func() int { return s.jdm.RowSum(k) }
+		sStar := func() int { return k * s.dv[k] }
+		if k == 1 && (sStar()-sk())%2 != 0 {
+			s.dv[1]++ // lines 2-3: make |s(1)-s*(1)| even
+		}
+		for sk() != sStar() {
+			steps++
+			if steps > maxAdjustSteps {
+				return fmt.Errorf("core: Algorithm 3 exceeded %d steps at degree %d (s=%d, s*=%d)",
+					maxAdjustSteps, k, sk(), sStar())
+			}
+			if sk() < sStar() {
+				// Increase branch (lines 5-9).
+				excludeSelf := sk() == sStar()-1
+				cands = cands[:0]
+				best := math.Inf(1)
+				for _, kp := range d {
+					if kp > k {
+						break
+					}
+					if kp == k && excludeSelf {
+						continue
+					}
+					delta := s.deltaAdd(k, kp, +1)
+					if delta < best {
+						best = delta
+						cands = append(cands[:0], kp)
+					} else if delta == best {
+						cands = append(cands, kp)
+					}
+				}
+				if len(cands) == 0 {
+					return fmt.Errorf("core: Algorithm 3: no increase candidate for degree %d", k)
+				}
+				kp := cands[r.IntN(len(cands))]
+				s.jdm.Add(k, kp, 1)
+			} else {
+				// Decrease branch (lines 10-20).
+				excludeSelf := sk() == sStar()+1
+				cands = cands[:0]
+				best := math.Inf(1)
+				for _, kp := range d {
+					if kp > k {
+						break
+					}
+					if kp == k && excludeSelf {
+						continue
+					}
+					if s.jdm.Get(k, kp) <= minAt(k, kp) {
+						continue
+					}
+					delta := s.deltaAdd(k, kp, -1)
+					if delta < best {
+						best = delta
+						cands = append(cands[:0], kp)
+					} else if delta == best {
+						cands = append(cands, kp)
+					}
+				}
+				if len(cands) > 0 {
+					kp := cands[r.IntN(len(cands))]
+					s.jdm.Add(k, kp, -1)
+				} else if k == 1 {
+					s.dv[1] += 2 // keep |s(1)-s*(1)| even (line 18)
+				} else {
+					s.dv[k]++ // line 20
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// modifyJDM implements Algorithm 4: raise m*(k1,k2) up to the subgraph's
+// m'(k1,k2) (JDM-4), compensating each increment by decrementing another
+// cell in row k1 and row k2 (where possible above m') and restoring the
+// affected rows with a final increment, so that JDM-3 violations and edge
+// inflation are minimized.
+func (s *jdmState) modifyJDM(mPrime *dkseries.JDM, r *rand.Rand) {
+	kmax := s.dv.KMax()
+	// pickDecrement finds k' with m*(row,k') > m'(row,k') minimizing
+	// Delta-, excluding the listed degrees; returns -1 if none.
+	pickDecrement := func(row int, exclude ...int) int {
+		best := math.Inf(1)
+		var cands []int
+		for kp := 1; kp <= kmax; kp++ {
+			skip := false
+			for _, e := range exclude {
+				if kp == e {
+					skip = true
+					break
+				}
+			}
+			if skip || s.jdm.Get(row, kp) <= mPrime.Get(row, kp) {
+				continue
+			}
+			delta := s.deltaAdd(row, kp, -1)
+			if delta < best {
+				best = delta
+				cands = append(cands[:0], kp)
+			} else if delta == best {
+				cands = append(cands, kp)
+			}
+		}
+		if len(cands) == 0 {
+			return -1
+		}
+		return cands[r.IntN(len(cands))]
+	}
+
+	for k1 := 1; k1 <= kmax; k1++ {
+		for k2 := k1; k2 <= kmax; k2++ {
+			for s.jdm.Get(k1, k2) < mPrime.Get(k1, k2) {
+				s.jdm.Add(k1, k2, 1)
+				// Retain s(k1): decrement m*(k1,k3), k3 not in {k1,k2}.
+				k3 := pickDecrement(k1, k1, k2)
+				if k3 >= 0 {
+					s.jdm.Add(k1, k3, -1)
+				}
+				// Retain s(k2): decrement m*(k2,k4), k4 not in {k1,k2}.
+				k4 := pickDecrement(k2, k1, k2)
+				if k4 >= 0 {
+					s.jdm.Add(k2, k4, -1)
+				}
+				// Restore s(k3) and s(k4) together (lines 18-21).
+				if k3 >= 0 && k4 >= 0 {
+					s.jdm.Add(k3, k4, 1)
+				}
+			}
+		}
+	}
+}
+
+// buildTargetJDM runs phase 2 end to end. The degree vector dv is mutated
+// in place when the adjustment needs extra nodes. sub's edges and target
+// degrees are nil for Gjoka et al.'s method (no modification step).
+func buildTargetJDM(est *estimate.Estimates, dv dkseries.DegreeVector, subGraph *graph.Graph, targetDeg []int, r *rand.Rand) (*dkseries.JDM, error) {
+	s := initJDM(est, dv)
+	if err := s.adjustJDM(nil, r); err != nil {
+		return nil, err
+	}
+	if subGraph != nil {
+		mPrime := dkseries.JDMFromBase(subGraph, targetDeg, dv.KMax())
+		s.modifyJDM(mPrime, r)
+		if err := s.adjustJDM(mPrime, r); err != nil {
+			return nil, err
+		}
+		if err := s.jdm.CheckAgainstBase(mPrime); err != nil {
+			return nil, fmt.Errorf("core: phase 2 violated JDM-4: %w", err)
+		}
+	}
+	if err := s.jdm.Check(dv); err != nil {
+		return nil, fmt.Errorf("core: phase 2 produced invalid JDM: %w", err)
+	}
+	return s.jdm, nil
+}

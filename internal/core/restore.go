@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"sgr/internal/dkseries"
+	"sgr/internal/estimate"
+	"sgr/internal/graph"
+	"sgr/internal/sampling"
+)
+
+// Options configures a restoration run.
+type Options struct {
+	// RC is the rewiring-attempt coefficient (Sec. V-E; paper default 500).
+	// Zero selects dkseries.DefaultRC.
+	RC float64
+	// SkipRewiring disables phase 4 entirely (for ablation experiments).
+	SkipRewiring bool
+	// ForbidDegenerate makes phase 4 reject swaps that would create
+	// self-loops or parallel edges, steering the output toward a simple
+	// graph (extension; the paper's model permits both).
+	ForbidDegenerate bool
+	// Rand is the random source; required.
+	Rand *rand.Rand
+}
+
+func (o Options) rc() float64 {
+	if o.RC <= 0 {
+		return dkseries.DefaultRC
+	}
+	return o.RC
+}
+
+// Result is a restored graph plus everything needed to audit the run.
+type Result struct {
+	// Graph is the generated graph G-tilde.
+	Graph *graph.Graph
+	// TargetDV and TargetJDM are the phase 1-2 targets; the generated graph
+	// realizes both exactly.
+	TargetDV  dkseries.DegreeVector
+	TargetJDM *dkseries.JDM
+	// Estimates are the re-weighted random-walk estimates the run used.
+	Estimates *estimate.Estimates
+	// Subgraph is the sampled subgraph embedded in Graph (nil for Gjoka
+	// et al.'s method). Its relabeled node i corresponds to Graph node i.
+	Subgraph *sampling.Subgraph
+	// NumAdded is the number of nodes added on top of the subgraph.
+	NumAdded int
+	// RewireStats reports phase 4 activity.
+	RewireStats dkseries.RewireStats
+	// TotalTime and RewireTime are the generation timings reported in
+	// Tables IV and V.
+	TotalTime  time.Duration
+	RewireTime time.Duration
+}
+
+// Validate re-checks every guarantee the method makes about its output:
+// graph integrity, exact realization of the target degree vector and joint
+// degree matrix, and (for the proposed method) that the sampled subgraph
+// survives verbatim. Useful as a post-condition in user pipelines.
+func (res *Result) Validate() error {
+	if err := res.Graph.Validate(); err != nil {
+		return err
+	}
+	got, err := dkseries.FromGraph(res.Graph)
+	if err != nil {
+		return err
+	}
+	for k := 1; k <= res.TargetDV.KMax(); k++ {
+		have := 0
+		if k <= got.KMax() {
+			have = got[k]
+		}
+		if have != res.TargetDV[k] {
+			return fmt.Errorf("core: degree vector not realized at k=%d: got %d want %d", k, have, res.TargetDV[k])
+		}
+	}
+	if got.KMax() > res.TargetDV.KMax() {
+		return fmt.Errorf("core: graph max degree %d exceeds target kmax %d", got.KMax(), res.TargetDV.KMax())
+	}
+	gj := dkseries.JDMFromGraph(res.Graph)
+	for ky, c := range res.TargetJDM.Cells() {
+		if gj.Get(ky[0], ky[1]) != c {
+			return fmt.Errorf("core: JDM not realized at (%d,%d): got %d want %d", ky[0], ky[1], gj.Get(ky[0], ky[1]), c)
+		}
+	}
+	if gj.TotalEdges() != res.TargetJDM.TotalEdges() {
+		return fmt.Errorf("core: edge total %d != target %d", gj.TotalEdges(), res.TargetJDM.TotalEdges())
+	}
+	if res.Subgraph != nil {
+		for _, e := range res.Subgraph.Graph.Edges() {
+			if res.Graph.Multiplicity(e.U, e.V) < res.Subgraph.Graph.Multiplicity(e.U, e.V) {
+				return fmt.Errorf("core: subgraph edge (%d,%d) missing from output", e.U, e.V)
+			}
+		}
+	}
+	return nil
+}
+
+// Restore runs the proposed method (Sec. IV): from a random-walk crawl it
+// builds the sampled subgraph, estimates the five local properties,
+// constructs realizable targets consistent with the subgraph, completes the
+// subgraph with half-edge wiring, and rewires the added edges toward the
+// estimated clustering spectrum.
+func Restore(c *sampling.Crawl, opts Options) (*Result, error) {
+	return run(c, opts, true)
+}
+
+// RestoreGjoka runs the reproducible version of Gjoka et al.'s method
+// (Appendix B): identical estimation, but the targets ignore the subgraph
+// structure, construction starts from an empty graph, and every edge is a
+// rewiring candidate.
+func RestoreGjoka(c *sampling.Crawl, opts Options) (*Result, error) {
+	return run(c, opts, false)
+}
+
+// RestoreWithEstimates runs the proposed method with externally supplied
+// estimates instead of computing them from the walk. Passing the original
+// graph's exact properties isolates construction error from estimation
+// error — the "oracle estimates" ablation.
+func RestoreWithEstimates(c *sampling.Crawl, est *estimate.Estimates, opts Options) (*Result, error) {
+	return runWith(c, est, opts, true)
+}
+
+func run(c *sampling.Crawl, opts Options, useSubgraph bool) (*Result, error) {
+	return runWith(c, nil, opts, useSubgraph)
+}
+
+func runWith(c *sampling.Crawl, est *estimate.Estimates, opts Options, useSubgraph bool) (*Result, error) {
+	if opts.Rand == nil {
+		return nil, fmt.Errorf("core: Options.Rand is required")
+	}
+	start := time.Now()
+	if est == nil {
+		w, err := estimate.NewWalk(c)
+		if err != nil {
+			return nil, err
+		}
+		est = estimate.All(w)
+	}
+
+	var sub *sampling.Subgraph
+	if useSubgraph {
+		sub = sampling.BuildSubgraph(c)
+	}
+
+	// Phase 1: target degree vector.
+	dvs, targetDeg, err := buildTargetDegreeVector(est, sub, opts.Rand)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: target joint degree matrix.
+	var subGraph *graph.Graph
+	if sub != nil {
+		subGraph = sub.Graph
+	}
+	jdm, err := buildTargetJDM(est, dvs.dv, subGraph, targetDeg, opts.Rand)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3: add nodes and edges to the subgraph (Algorithm 5).
+	base := graph.New(0)
+	var baseTarget []int
+	if sub != nil {
+		base = sub.Graph
+		baseTarget = targetDeg
+	}
+	built, err := dkseries.Build(base, baseTarget, dvs.dv, jdm, opts.Rand)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		TargetDV:  dvs.dv,
+		TargetJDM: jdm,
+		Estimates: est,
+		Subgraph:  sub,
+		NumAdded:  built.Graph.N() - base.N(),
+	}
+
+	// Phase 4: rewire toward the estimated clustering (Algorithm 6). The
+	// proposed method keeps subgraph edges fixed; Gjoka et al. rewire all.
+	if opts.SkipRewiring {
+		res.Graph = built.Graph
+	} else {
+		rwStart := time.Now()
+		var fixed []graph.Edge
+		if sub != nil {
+			fixed = sub.Graph.Edges()
+		}
+		g, stats := dkseries.Rewire(built.Graph.N(), fixed, built.Added, dkseries.RewireOptions{
+			TargetClustering: est.Clustering,
+			RC:               opts.rc(),
+			Rand:             opts.Rand,
+			ForbidDegenerate: opts.ForbidDegenerate,
+		})
+		res.Graph = g
+		res.RewireStats = stats
+		res.RewireTime = time.Since(rwStart)
+	}
+	res.TotalTime = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,36 @@
+package core
+
+import "testing"
+
+func TestResultValidatePasses(t *testing.T) {
+	g := testOriginal(t, 120)
+	c := crawlOn(t, g, 0.08, 121)
+	res, err := Restore(c, Options{RC: 5, Rand: rng(122)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatalf("Validate on a fresh restoration: %v", err)
+	}
+	gj, err := RestoreGjoka(c, Options{RC: 5, Rand: rng(123)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gj.Validate(); err != nil {
+		t.Fatalf("Validate on Gjoka restoration: %v", err)
+	}
+}
+
+func TestResultValidateDetectsTampering(t *testing.T) {
+	g := testOriginal(t, 130)
+	c := crawlOn(t, g, 0.08, 131)
+	res, err := Restore(c, Options{SkipRewiring: true, Rand: rng(132)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper: add an edge, which breaks the degree vector and JDM.
+	res.Graph.AddEdge(0, 1)
+	if err := res.Validate(); err == nil {
+		t.Fatal("Validate must detect a tampered graph")
+	}
+}

@@ -1,0 +1,69 @@
+package dkseries
+
+import (
+	"testing"
+
+	"sgr/internal/gen"
+	"sgr/internal/graph"
+)
+
+func benchSource(b *testing.B, n int) *graph.Graph {
+	b.Helper()
+	return gen.HolmeKim(n, 4, 0.5, rng(1))
+}
+
+func BenchmarkBuild2K(b *testing.B) {
+	src := benchSource(b, 3000)
+	dv, err := FromGraph(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jdm := JDMFromGraph(src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(nil, nil, dv, jdm, rng(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRewireAttempts(b *testing.B) {
+	src := benchSource(b, 2000)
+	dv, _ := FromGraph(src)
+	jdm := JDMFromGraph(src)
+	res, err := Build(nil, nil, dv, jdm, rng(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := DegreeClustering(src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cands := append([]graph.Edge(nil), res.Added...)
+		// RC=1 -> one attempt per candidate edge; ns/op / len(cands) is
+		// the per-attempt cost.
+		Rewire(src.N(), nil, cands, RewireOptions{
+			TargetClustering: target,
+			RC:               1,
+			Rand:             rng(uint64(i)),
+		})
+	}
+	b.ReportMetric(float64(len(res.Added)), "attempts/op")
+}
+
+func BenchmarkDegreeClustering(b *testing.B) {
+	src := benchSource(b, 3000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DegreeClustering(src)
+	}
+}
+
+func BenchmarkDK25(b *testing.B) {
+	src := benchSource(b, 800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DK25(src, 5, rng(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package estimate
+
+import (
+	"testing"
+
+	"sgr/internal/gen"
+	"sgr/internal/sampling"
+)
+
+func benchWalk(b *testing.B, steps int) *Walk {
+	b.Helper()
+	g := gen.HolmeKim(5000, 4, 0.5, rng(1))
+	c, err := sampling.RandomWalkSteps(sampling.NewGraphAccess(g), 0, steps, rng(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := NewWalk(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func BenchmarkNumNodes(b *testing.B) {
+	w := benchWalk(b, 5000)
+	m := w.Lag()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.NumNodes(m)
+	}
+}
+
+func BenchmarkJDDHybrid(b *testing.B) {
+	w := benchWalk(b, 5000)
+	nHat, _ := w.NumNodes(w.Lag())
+	kHat := w.AvgDegree()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.JDDHybrid(nHat, kHat, w.Lag())
+	}
+}
+
+func BenchmarkDegreeClusteringEstimator(b *testing.B) {
+	w := benchWalk(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.DegreeClustering()
+	}
+}
+
+func BenchmarkAllEstimators(b *testing.B) {
+	w := benchWalk(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		All(w)
+	}
+}
+
+func BenchmarkNewWalk(b *testing.B) {
+	g := gen.HolmeKim(5000, 4, 0.5, rng(3))
+	c, err := sampling.RandomWalkSteps(sampling.NewGraphAccess(g), 0, 5000, rng(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewWalk(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

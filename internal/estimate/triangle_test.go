@@ -1,0 +1,52 @@
+package estimate
+
+import (
+	"testing"
+
+	"sgr/internal/gen"
+	"sgr/internal/graph"
+)
+
+func TestTriangleCountEstimator(t *testing.T) {
+	g := gen.HolmeKim(1500, 4, 0.7, rng(80))
+	truth := float64(g.GlobalTriangles())
+	w := walkOn(t, g, 10000, 81)
+	est := All(w)
+	got := est.TriangleCount()
+	if relErr(got, truth) > 0.5 {
+		t.Fatalf("triangle estimate %v vs truth %v", got, truth)
+	}
+}
+
+func TestTriangleCountExactComposition(t *testing.T) {
+	// With oracle inputs the composition is exact: K5 has C(5,3)=10
+	// triangles; every node degree 4, clustering 1.
+	k5 := graph.New(5)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			k5.AddEdge(i, j)
+		}
+	}
+	e := &Estimates{
+		N:          5,
+		DegreeDist: map[int]float64{4: 1},
+		Clustering: map[int]float64{4: 1},
+	}
+	if got := e.TriangleCount(); got != 10 {
+		t.Fatalf("K5 triangle composition: %v want 10", got)
+	}
+	if k5.GlobalTriangles() != 10 {
+		t.Fatalf("K5 truth: %d", k5.GlobalTriangles())
+	}
+}
+
+func TestTriangleCountZeroOnTriangleFree(t *testing.T) {
+	star := graph.New(12)
+	for i := 1; i < 12; i++ {
+		star.AddEdge(0, i)
+	}
+	w := walkOn(t, star, 500, 82)
+	if got := All(w).TriangleCount(); got != 0 {
+		t.Fatalf("star triangle estimate %v want 0", got)
+	}
+}

@@ -1,0 +1,92 @@
+package estimate
+
+import (
+	"testing"
+
+	"sgr/internal/gen"
+)
+
+// TestJointDegreeEstimatorUnbiasedIE verifies Appendix A empirically for
+// the induced-edges part: averaged over many walks, with the true n and
+// kbar plugged in, P-hat_IE(k,k') approaches P(k,k') for heavy entries.
+// (Plugging the true scalars isolates the IE kernel's bias from the noise
+// of the scalar estimators, matching the structure of the proof.)
+func TestJointDegreeEstimatorUnbiasedIE(t *testing.T) {
+	g := gen.HolmeKim(300, 3, 0.5, rng(41))
+	truth := trueJDD(g)
+	acc := make(map[DegreePair]float64)
+	const runs = 50
+	for i := 0; i < runs; i++ {
+		w := walkOn(t, g, 3000, uint64(500+i))
+		ie := w.JDDIE(float64(g.N()), g.AvgDegree(), w.Lag())
+		for kk, v := range ie {
+			acc[kk] += v / runs
+		}
+	}
+	checked := 0
+	for kk, p := range truth {
+		// IE is reliable for high-degree pairs (the hybrid's regime).
+		if p < 0.01 || float64(kk.K+kk.Kp) < 2*g.AvgDegree() {
+			continue
+		}
+		checked++
+		if relErr(acc[kk], p) > 0.25 {
+			t.Errorf("IE biased at (%d,%d): avg=%v truth=%v", kk.K, kk.Kp, acc[kk], p)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no heavy high-degree JDD entries to check; enlarge the graph")
+	}
+}
+
+// TestHybridEstimatorBeatsPureVariants shows the design rationale of the
+// hybrid (Sec. III-E): over the full matrix, the hybrid's normalized L1
+// error is not worse than both pure variants on average.
+func TestHybridEstimatorBeatsPureVariants(t *testing.T) {
+	g := gen.HolmeKim(800, 3, 0.5, rng(42))
+	truth := trueJDD(g)
+	var hybridErr, ieErr, teErr float64
+	const runs = 12
+	for i := 0; i < runs; i++ {
+		w := walkOn(t, g, 4000, uint64(700+i))
+		nHat, _ := w.NumNodes(w.Lag())
+		kHat := w.AvgDegree()
+		hybridErr += jddNormL1(w.JDDHybrid(nHat, kHat, w.Lag()), truth) / runs
+		ieErr += jddNormL1(w.JDDIE(nHat, kHat, w.Lag()), truth) / runs
+		teErr += jddNormL1(w.JDDTE(), truth) / runs
+	}
+	t.Logf("JDD normalized L1: hybrid=%.3f ie=%.3f te=%.3f", hybridErr, ieErr, teErr)
+	worst := ieErr
+	if teErr > worst {
+		worst = teErr
+	}
+	if hybridErr >= worst {
+		t.Errorf("hybrid (%.3f) should beat the worse pure variant (%.3f)", hybridErr, worst)
+	}
+}
+
+func jddNormL1(got, want map[DegreePair]float64) float64 {
+	num, den := 0.0, 0.0
+	for kk, p := range want {
+		mult := 2.0
+		if kk.K == kk.Kp {
+			mult = 1.0
+		}
+		d := got[kk] - p
+		if d < 0 {
+			d = -d
+		}
+		num += mult * d
+		den += mult * p
+	}
+	for kk, p := range got {
+		if _, ok := want[kk]; !ok {
+			mult := 2.0
+			if kk.K == kk.Kp {
+				mult = 1.0
+			}
+			num += mult * p
+		}
+	}
+	return num / den
+}

@@ -1,0 +1,100 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"sgr/internal/gen"
+	"sgr/internal/graph"
+	"sgr/internal/props"
+)
+
+func TestAvgDegreeIntervalCoversTruth(t *testing.T) {
+	g := gen.HolmeKim(2000, 4, 0.5, rng(31))
+	truth := g.AvgDegree()
+	covered := 0
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		w := walkOn(t, g, 5000, uint64(300+i))
+		iv, err := w.AvgDegreeInterval(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.StdErr <= 0 || iv.Lo > iv.Hi || iv.Batches != 10 {
+			t.Fatalf("malformed interval: %+v", iv)
+		}
+		if iv.Lo <= truth && truth <= iv.Hi {
+			covered++
+		}
+	}
+	// A 95% interval should cover the truth most of the time; allow wide
+	// slack for the small trial count.
+	if covered < trials/2 {
+		t.Fatalf("interval covered truth only %d/%d times", covered, trials)
+	}
+}
+
+func TestIntervalErrors(t *testing.T) {
+	g := gen.HolmeKim(100, 2, 0.3, rng(32))
+	w := walkOn(t, g, 12, 33)
+	if _, err := w.AvgDegreeInterval(1); err == nil {
+		t.Error("want error for a single batch")
+	}
+	if _, err := w.AvgDegreeInterval(10); err == nil {
+		t.Error("want error for walk shorter than 2*batches")
+	}
+}
+
+func TestGlobalClusteringEstimator(t *testing.T) {
+	g := gen.HolmeKim(1500, 3, 0.8, rng(34))
+	truth := props.GlobalClustering(g)
+	w := walkOn(t, g, 12000, 35)
+	got := w.GlobalClustering()
+	if math.Abs(got-truth) > 0.35*truth {
+		t.Fatalf("cbar estimate %v vs truth %v", got, truth)
+	}
+	iv, err := w.GlobalClusteringInterval(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Estimate < 0 || iv.Estimate > 1 {
+		t.Fatalf("cbar interval estimate out of range: %+v", iv)
+	}
+}
+
+func TestGlobalClusteringOnCliqueAndStar(t *testing.T) {
+	clique := graph.New(8)
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			clique.AddEdge(i, j)
+		}
+	}
+	w := walkOn(t, clique, 4000, 36)
+	if got := w.GlobalClustering(); math.Abs(got-1) > 0.05 {
+		t.Fatalf("clique cbar estimate %v", got)
+	}
+	star := graph.New(6)
+	for i := 1; i < 6; i++ {
+		star.AddEdge(0, i)
+	}
+	w2 := walkOn(t, star, 500, 37)
+	if got := w2.GlobalClustering(); got != 0 {
+		t.Fatalf("star cbar estimate %v", got)
+	}
+}
+
+func TestNumNodesInterval(t *testing.T) {
+	g := gen.HolmeKim(800, 4, 0.5, rng(38))
+	w := walkOn(t, g, 8000, 39)
+	iv, err := w.NumNodesInterval(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Estimate <= 0 {
+		t.Fatalf("n interval: %+v", iv)
+	}
+	// The batched estimate should be in the right ballpark.
+	if iv.Estimate < 0.3*float64(g.N()) || iv.Estimate > 3*float64(g.N()) {
+		t.Fatalf("n interval estimate %v vs truth %d", iv.Estimate, g.N())
+	}
+}

@@ -1,0 +1,285 @@
+// Package gen provides random-graph generators used as synthetic stand-ins
+// for the paper's seven public social-graph datasets (Table I), which are not
+// available in this offline build.
+//
+// The generators implement the classic models: Erdős–Rényi G(n,m),
+// Barabási–Albert preferential attachment, Holme–Kim power-law cluster
+// (Barabási–Albert with triad formation, giving both a heavy-tailed degree
+// distribution and tunable clustering — the two features the restoration
+// method exercises), Watts–Strogatz small world, the configuration model for
+// an arbitrary degree sequence, and a planted-partition community model.
+// All generators take an explicit random source for reproducibility.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"sgr/internal/graph"
+)
+
+// ErdosRenyiGNM returns a uniform random simple graph with n nodes and m
+// distinct edges (no loops, no multi-edges). Panics if m exceeds C(n,2).
+func ErdosRenyiGNM(n, m int, r *rand.Rand) *graph.Graph {
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		panic(fmt.Sprintf("gen: m=%d exceeds C(%d,2)=%d", m, n, maxM))
+	}
+	g := graph.New(n)
+	seen := make(map[[2]int]struct{}, m)
+	for g.M() < m {
+		u := r.IntN(n)
+		v := r.IntN(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int{u, v}
+		if _, ok := seen[key]; ok {
+			continue
+		}
+		seen[key] = struct{}{}
+		g.AddEdge(u, v)
+	}
+	return g
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: starting from a
+// star on m0 = mAttach+1 nodes, each new node attaches mAttach edges to
+// existing nodes chosen proportionally to degree (without duplicate targets).
+func BarabasiAlbert(n, mAttach int, r *rand.Rand) *graph.Graph {
+	if mAttach < 1 || n < mAttach+1 {
+		panic(fmt.Sprintf("gen: BarabasiAlbert(n=%d, m=%d) invalid", n, mAttach))
+	}
+	g := graph.New(n)
+	// repeated holds one entry per edge endpoint, so uniform sampling from it
+	// is degree-proportional sampling.
+	repeated := make([]int, 0, 2*n*mAttach)
+	for i := 1; i <= mAttach; i++ {
+		g.AddEdge(0, i)
+		repeated = append(repeated, 0, i)
+	}
+	seen := make(map[int]struct{}, mAttach)
+	targets := make([]int, 0, mAttach)
+	for v := mAttach + 1; v < n; v++ {
+		clear(seen)
+		targets = targets[:0]
+		for len(targets) < mAttach {
+			t := repeated[r.IntN(len(repeated))]
+			if _, dup := seen[t]; dup {
+				continue
+			}
+			seen[t] = struct{}{}
+			targets = append(targets, t)
+		}
+		for _, t := range targets {
+			g.AddEdge(v, t)
+			repeated = append(repeated, v, t)
+		}
+	}
+	return g
+}
+
+// HolmeKim returns a power-law cluster graph (Holme & Kim 2002):
+// Barabási–Albert growth where, after each preferential attachment, with
+// probability pTriad the next edge instead closes a triangle with a random
+// neighbor of the previous target. Produces heavy-tailed degrees with
+// clustering that grows with pTriad, which makes it a good synthetic
+// stand-in for social graphs.
+func HolmeKim(n, mAttach int, pTriad float64, r *rand.Rand) *graph.Graph {
+	if mAttach < 1 || n < mAttach+1 {
+		panic(fmt.Sprintf("gen: HolmeKim(n=%d, m=%d) invalid", n, mAttach))
+	}
+	if pTriad < 0 || pTriad > 1 {
+		panic("gen: HolmeKim pTriad out of [0,1]")
+	}
+	g := graph.New(n)
+	repeated := make([]int, 0, 2*n*mAttach)
+	for i := 1; i <= mAttach; i++ {
+		g.AddEdge(0, i)
+		repeated = append(repeated, 0, i)
+	}
+	seen := make(map[int]struct{}, mAttach)
+	targets := make([]int, 0, mAttach)
+	for v := mAttach + 1; v < n; v++ {
+		clear(seen)
+		targets = targets[:0]
+		prev := -1
+		for len(targets) < mAttach {
+			var t int
+			if prev >= 0 && r.Float64() < pTriad {
+				// Triad step: connect to a random neighbor of prev.
+				nb := g.Neighbors(prev)
+				t = nb[r.IntN(len(nb))]
+				if t == v {
+					prev = -1
+					continue
+				}
+				if _, dup := seen[t]; dup {
+					// Fall back to preferential attachment this round.
+					prev = -1
+					continue
+				}
+			} else {
+				t = repeated[r.IntN(len(repeated))]
+				if _, dup := seen[t]; dup {
+					continue
+				}
+			}
+			seen[t] = struct{}{}
+			targets = append(targets, t)
+			prev = t
+		}
+		for _, t := range targets {
+			g.AddEdge(v, t)
+			repeated = append(repeated, v, t)
+		}
+	}
+	return g
+}
+
+// WattsStrogatz returns a small-world graph: a ring lattice where each node
+// connects to its k/2 nearest neighbors on each side, with each edge rewired
+// to a uniform random target with probability beta (avoiding loops and
+// duplicate edges).
+func WattsStrogatz(n, k int, beta float64, r *rand.Rand) *graph.Graph {
+	if k%2 != 0 || k >= n || k < 2 {
+		panic(fmt.Sprintf("gen: WattsStrogatz(n=%d, k=%d) needs even k in [2,n)", n, k))
+	}
+	g := graph.New(n)
+	has := make(map[[2]int]struct{}, n*k/2)
+	key := func(u, v int) [2]int {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int{u, v}
+	}
+	add := func(u, v int) {
+		g.AddEdge(u, v)
+		has[key(u, v)] = struct{}{}
+	}
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k/2; j++ {
+			add(u, (u+j)%n)
+		}
+	}
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k/2; j++ {
+			if r.Float64() >= beta {
+				continue
+			}
+			v := (u + j) % n
+			if _, ok := has[key(u, v)]; !ok {
+				continue // already rewired away
+			}
+			// Try a handful of random targets; keep the edge if unlucky.
+			for try := 0; try < 16; try++ {
+				w := r.IntN(n)
+				if w == u || w == v {
+					continue
+				}
+				if _, ok := has[key(u, w)]; ok {
+					continue
+				}
+				g.RemoveEdge(u, v)
+				delete(has, key(u, v))
+				add(u, w)
+				break
+			}
+		}
+	}
+	return g
+}
+
+// ConfigurationModel returns a random multigraph whose degree sequence is
+// exactly degrees (stub matching). The degree sum must be even. The result
+// may contain multi-edges and self-loops, as in the standard model.
+func ConfigurationModel(degrees []int, r *rand.Rand) *graph.Graph {
+	total := 0
+	for _, d := range degrees {
+		if d < 0 {
+			panic("gen: negative degree")
+		}
+		total += d
+	}
+	if total%2 != 0 {
+		panic("gen: odd degree sum")
+	}
+	stubs := make([]int, 0, total)
+	for u, d := range degrees {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, u)
+		}
+	}
+	r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	g := graph.New(len(degrees))
+	for i := 0; i+1 < len(stubs); i += 2 {
+		g.AddEdge(stubs[i], stubs[i+1])
+	}
+	return g
+}
+
+// PowerLawDegrees samples n degrees from a discrete power law
+// P(k) ∝ k^(-gamma) on [kMin, kMax], adjusting the last entry by +1 if
+// needed to make the sum even.
+func PowerLawDegrees(n int, gamma float64, kMin, kMax int, r *rand.Rand) []int {
+	if kMin < 1 || kMax < kMin {
+		panic("gen: bad degree bounds")
+	}
+	weights := make([]float64, kMax-kMin+1)
+	sum := 0.0
+	for i := range weights {
+		weights[i] = math.Pow(float64(kMin+i), -gamma)
+		sum += weights[i]
+	}
+	degrees := make([]int, n)
+	degSum := 0
+	for i := range degrees {
+		x := r.Float64() * sum
+		acc := 0.0
+		k := kMax
+		for j, w := range weights {
+			acc += w
+			if x <= acc {
+				k = kMin + j
+				break
+			}
+		}
+		degrees[i] = k
+		degSum += k
+	}
+	if degSum%2 != 0 {
+		degrees[n-1]++
+	}
+	return degrees
+}
+
+// PlantedPartition returns a planted-partition (stochastic block model)
+// graph with the given community sizes, within-community edge probability
+// pIn, and cross-community probability pOut.
+func PlantedPartition(sizes []int, pIn, pOut float64, r *rand.Rand) *graph.Graph {
+	n := 0
+	comm := []int{}
+	for c, s := range sizes {
+		n += s
+		for i := 0; i < s; i++ {
+			comm = append(comm, c)
+		}
+	}
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := pOut
+			if comm[u] == comm[v] {
+				p = pIn
+			}
+			if r.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,250 @@
+package gen
+
+import (
+	mrand "math/rand"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func rng(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, seed^0x9e3779b9)) }
+
+func TestErdosRenyiGNM(t *testing.T) {
+	g := ErdosRenyiGNM(50, 100, rng(1))
+	if g.N() != 50 || g.M() != 100 {
+		t.Fatalf("ER: n=%d m=%d", g.N(), g.M())
+	}
+	if g.CountMultiEdges() != 0 {
+		t.Fatal("ER produced multi-edges or loops")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErdosRenyiPanicsOnTooManyEdges(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for m > C(n,2)")
+		}
+	}()
+	ErdosRenyiGNM(4, 7, rng(1))
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	n, m := 200, 3
+	g := BarabasiAlbert(n, m, rng(2))
+	// Edge count: m (initial star) + (n-m-1)*m.
+	wantM := m + (n-m-1)*m
+	if g.M() != wantM {
+		t.Fatalf("BA edges: got %d want %d", g.M(), wantM)
+	}
+	if !g.IsConnected() {
+		t.Fatal("BA graph must be connected")
+	}
+	if g.CountMultiEdges() != 0 {
+		t.Fatal("BA produced multi-edges")
+	}
+	// Preferential attachment should create a hub much larger than m.
+	if g.MaxDegree() < 3*m {
+		t.Errorf("BA max degree %d suspiciously small", g.MaxDegree())
+	}
+}
+
+func TestHolmeKim(t *testing.T) {
+	n, m := 400, 4
+	g := HolmeKim(n, m, 0.7, rng(3))
+	wantM := m + (n-m-1)*m
+	if g.M() != wantM {
+		t.Fatalf("HK edges: got %d want %d", g.M(), wantM)
+	}
+	if !g.IsConnected() {
+		t.Fatal("HK graph must be connected")
+	}
+	if g.CountMultiEdges() != 0 {
+		t.Fatal("HK produced multi-edges")
+	}
+	// Triad formation must yield materially more triangles than pTriad=0.
+	g0 := HolmeKim(n, m, 0.0, rng(3))
+	if g.GlobalTriangles() <= g0.GlobalTriangles() {
+		t.Errorf("HK clustering: triangles %d (p=0.7) <= %d (p=0)",
+			g.GlobalTriangles(), g0.GlobalTriangles())
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g := WattsStrogatz(100, 4, 0.1, rng(4))
+	if g.N() != 100 || g.M() != 200 {
+		t.Fatalf("WS: n=%d m=%d want 100,200", g.N(), g.M())
+	}
+	if g.CountMultiEdges() != 0 {
+		t.Fatal("WS produced multi-edges")
+	}
+	// beta=0 must be the pure ring lattice: all degrees k.
+	ring := WattsStrogatz(30, 4, 0, rng(5))
+	for u := 0; u < 30; u++ {
+		if ring.Degree(u) != 4 {
+			t.Fatalf("ring degree(%d)=%d want 4", u, ring.Degree(u))
+		}
+	}
+}
+
+func TestWattsStrogatzPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for odd k")
+		}
+	}()
+	WattsStrogatz(10, 3, 0.1, rng(1))
+}
+
+func TestConfigurationModelExactDegrees(t *testing.T) {
+	degrees := []int{3, 2, 2, 1, 4, 2}
+	g := ConfigurationModel(degrees, rng(6))
+	for u, d := range degrees {
+		if g.Degree(u) != d {
+			t.Fatalf("config degree(%d)=%d want %d", u, g.Degree(u), d)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigurationModelOddSumPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for odd degree sum")
+		}
+	}()
+	ConfigurationModel([]int{1, 2}, rng(1))
+}
+
+func TestPowerLawDegrees(t *testing.T) {
+	deg := PowerLawDegrees(5000, 2.5, 2, 100, rng(7))
+	sum := 0
+	minD, maxD := deg[0], deg[0]
+	for _, d := range deg {
+		sum += d
+		if d < minD {
+			minD = d
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if sum%2 != 0 {
+		t.Fatal("degree sum must be even")
+	}
+	if minD < 2 || maxD > 101 { // +1 allowed on the last entry
+		t.Fatalf("degree bounds violated: min=%d max=%d", minD, maxD)
+	}
+	// Heavy tail: low degrees dominate.
+	nLow := 0
+	for _, d := range deg {
+		if d <= 4 {
+			nLow++
+		}
+	}
+	if float64(nLow)/float64(len(deg)) < 0.5 {
+		t.Errorf("power law not heavy-tailed: only %d/%d degrees <= 4", nLow, len(deg))
+	}
+}
+
+func TestPlantedPartition(t *testing.T) {
+	g := PlantedPartition([]int{40, 40}, 0.3, 0.01, rng(8))
+	if g.N() != 80 {
+		t.Fatalf("PP: n=%d", g.N())
+	}
+	within, across := 0, 0
+	for _, e := range g.Edges() {
+		if (e.U < 40) == (e.V < 40) {
+			within++
+		} else {
+			across++
+		}
+	}
+	if within <= across {
+		t.Errorf("planted partition: within=%d across=%d", within, across)
+	}
+}
+
+func TestDatasetRegistry(t *testing.T) {
+	if len(Datasets) != 7 {
+		t.Fatalf("want 7 datasets, got %d", len(Datasets))
+	}
+	d, err := ByName("anybeat")
+	if err != nil || d.N != 12645 {
+		t.Fatalf("ByName(anybeat): %v %v", d, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName should fail for unknown dataset")
+	}
+	if len(FigureDatasets()) != 3 || len(TableDatasets()) != 6 {
+		t.Fatal("figure/table dataset slices wrong")
+	}
+}
+
+func TestDatasetBuild(t *testing.T) {
+	d, _ := ByName("anybeat")
+	g := d.Build(0.05, rng(9))
+	if g.N() < 500 {
+		t.Fatalf("scaled anybeat too small: n=%d", g.N())
+	}
+	if !g.IsConnected() {
+		t.Fatal("dataset stand-in must be connected (LCC extracted)")
+	}
+	if g.CountMultiEdges() != 0 {
+		t.Fatal("dataset stand-in must be simple")
+	}
+	// Average degree should be near 2*MAttach.
+	avg := g.AvgDegree()
+	if avg < float64(d.MAttach) || avg > float64(4*d.MAttach) {
+		t.Errorf("avg degree %v far from 2*%d", avg, d.MAttach)
+	}
+}
+
+func TestDatasetBuildPanicsOnBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for scale 0")
+		}
+	}()
+	Datasets[0].Build(0, rng(1))
+}
+
+func TestQuickConfigModelHandshake(t *testing.T) {
+	f := func(seed int64, raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		degrees := make([]int, len(raw))
+		sum := 0
+		for i, b := range raw {
+			degrees[i] = int(b % 8)
+			sum += degrees[i]
+		}
+		if sum%2 != 0 {
+			degrees[0]++
+		}
+		g := ConfigurationModel(degrees, rng(uint64(seed)))
+		return g.DegreeSum() == 2*g.M() && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: mrand.New(mrand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := HolmeKim(300, 3, 0.5, rng(42))
+	b := HolmeKim(300, 3, 0.5, rng(42))
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("same seed, different edge counts")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("same seed, different edge %d: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+}

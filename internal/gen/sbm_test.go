@@ -1,0 +1,88 @@
+package gen
+
+import (
+	"testing"
+)
+
+func TestDegreeCorrectedSBMCommunities(t *testing.T) {
+	n := 400
+	degrees := PowerLawDegrees(n, 2.5, 2, 40, rng(40))
+	comm := make([]int, n)
+	for i := range comm {
+		comm[i] = i % 4
+	}
+	g := DegreeCorrectedSBM(degrees, comm, 0.9, rng(41))
+	// Degree sums match up to the odd-stub reassignments (at most 4 stubs
+	// move pools, and all stubs are still paired except possibly one).
+	total := 0
+	for _, d := range degrees {
+		total += d
+	}
+	if got := g.DegreeSum(); got < total-2 || got > total {
+		t.Fatalf("degree sum %d want ~%d", got, total)
+	}
+	// Strong mixing should place most edges within communities.
+	within, across := 0, 0
+	for _, e := range g.Edges() {
+		if comm[e.U] == comm[e.V] {
+			within++
+		} else {
+			across++
+		}
+	}
+	if within < 3*across {
+		t.Fatalf("communities too weak: within=%d across=%d", within, across)
+	}
+	// mixing=0 should behave like a configuration model (no community bias).
+	g0 := DegreeCorrectedSBM(degrees, comm, 0, rng(42))
+	within0, across0 := 0, 0
+	for _, e := range g0.Edges() {
+		if comm[e.U] == comm[e.V] {
+			within0++
+		} else {
+			across0++
+		}
+	}
+	if within0 > across0 {
+		t.Fatalf("mixing=0 still community biased: within=%d across=%d", within0, across0)
+	}
+}
+
+func TestDegreeCorrectedSBMPanics(t *testing.T) {
+	for _, tc := range []struct {
+		deg, comm []int
+		mix       float64
+	}{
+		{[]int{1, 2}, []int{0}, 0.5},
+		{[]int{1, 2}, []int{0, 1}, 1.5},
+		{[]int{-1, 2}, []int{0, 1}, 0.5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("want panic for %+v", tc)
+				}
+			}()
+			DegreeCorrectedSBM(tc.deg, tc.comm, tc.mix, rng(43))
+		}()
+	}
+}
+
+func TestDegreeCorrectedSBMDeterministic(t *testing.T) {
+	degrees := PowerLawDegrees(200, 2.5, 2, 20, rng(44))
+	comm := make([]int, 200)
+	for i := range comm {
+		comm[i] = i % 3
+	}
+	a := DegreeCorrectedSBM(degrees, comm, 0.7, rng(45))
+	b := DegreeCorrectedSBM(degrees, comm, 0.7, rng(45))
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("nondeterministic edge count")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("nondeterministic at edge %d", i)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(b *testing.B, n, m int) *Graph {
+	b.Helper()
+	r := rand.New(rand.NewSource(1))
+	g := New(n)
+	for i := 0; i < m; i++ {
+		g.AddEdge(r.Intn(n), r.Intn(n))
+	}
+	return g
+}
+
+func BenchmarkAddEdge(b *testing.B) {
+	g := New(10000)
+	r := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.AddEdge(r.Intn(10000), r.Intn(10000))
+	}
+}
+
+func BenchmarkMultiplicity(b *testing.B) {
+	g := benchGraph(b, 5000, 25000)
+	r := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Multiplicity(r.Intn(5000), r.Intn(5000))
+	}
+}
+
+func BenchmarkTriangleCounts(b *testing.B) {
+	g := benchGraph(b, 3000, 15000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.TriangleCounts()
+	}
+}
+
+func BenchmarkJointDegreeMatrix(b *testing.B) {
+	g := benchGraph(b, 5000, 25000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.JointDegreeMatrix()
+	}
+}
+
+func BenchmarkConnectedComponents(b *testing.B) {
+	g := benchGraph(b, 10000, 30000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ConnectedComponents()
+	}
+}
+
+func BenchmarkSimplify(b *testing.B) {
+	g := benchGraph(b, 5000, 40000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Simplify()
+	}
+}

@@ -1,0 +1,36 @@
+package graph
+
+import "testing"
+
+func TestEqual(t *testing.T) {
+	a := New(3)
+	a.AddEdge(0, 1)
+	a.AddEdge(1, 2)
+	b := New(3)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 1) // insertion order must not matter
+	if !Equal(a, b) {
+		t.Fatal("Equal must ignore insertion order")
+	}
+	c := a.Clone()
+	c.AddEdge(0, 1)
+	if Equal(a, c) {
+		t.Fatal("Equal must distinguish multiplicities")
+	}
+	d := New(4)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	if Equal(a, d) {
+		t.Fatal("Equal must compare node counts")
+	}
+	// Loops count.
+	e := New(3)
+	e.AddEdge(0, 1)
+	e.AddEdge(2, 2)
+	f := New(3)
+	f.AddEdge(0, 1)
+	f.AddEdge(1, 2)
+	if Equal(e, f) {
+		t.Fatal("Equal must distinguish loops from edges")
+	}
+}

@@ -1,0 +1,452 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAddNode(t *testing.T) {
+	g := New(3)
+	if g.N() != 3 || g.M() != 0 {
+		t.Fatalf("New(3): got n=%d m=%d", g.N(), g.M())
+	}
+	id := g.AddNode()
+	if id != 3 || g.N() != 4 {
+		t.Fatalf("AddNode: got id=%d n=%d", id, g.N())
+	}
+	first := g.AddNodes(5)
+	if first != 4 || g.N() != 9 {
+		t.Fatalf("AddNodes(5): got first=%d n=%d", first, g.N())
+	}
+}
+
+func TestAddEdgeDegreesAndHandshake(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 2) // multi-edge
+	g.AddEdge(3, 3) // self-loop
+	if g.M() != 4 {
+		t.Fatalf("M: got %d want 4", g.M())
+	}
+	wantDeg := []int{1, 3, 2, 2}
+	for u, want := range wantDeg {
+		if got := g.Degree(u); got != want {
+			t.Errorf("Degree(%d): got %d want %d", u, got, want)
+		}
+	}
+	if g.DegreeSum() != 2*g.M() {
+		t.Errorf("handshake: degree sum %d != 2m %d", g.DegreeSum(), 2*g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestMultiplicity(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 2)
+	if got := g.Multiplicity(0, 1); got != 2 {
+		t.Errorf("Multiplicity(0,1): got %d want 2", got)
+	}
+	if got := g.Multiplicity(1, 0); got != 2 {
+		t.Errorf("Multiplicity(1,0): got %d want 2", got)
+	}
+	if got := g.Multiplicity(2, 2); got != 2 {
+		t.Errorf("Multiplicity(2,2) for one loop: got %d want 2 (Newman convention)", got)
+	}
+	if got := g.Multiplicity(0, 2); got != 0 {
+		t.Errorf("Multiplicity(0,2): got %d want 0", got)
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(0, 2) {
+		t.Errorf("HasEdge wrong")
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 2)
+	if !g.RemoveEdge(0, 1) {
+		t.Fatal("RemoveEdge(0,1) failed")
+	}
+	if g.Multiplicity(0, 1) != 1 || g.M() != 2 {
+		t.Fatalf("after removal: mult=%d m=%d", g.Multiplicity(0, 1), g.M())
+	}
+	if !g.RemoveEdge(2, 2) {
+		t.Fatal("RemoveEdge(2,2) failed")
+	}
+	if g.Degree(2) != 0 {
+		t.Fatalf("self-loop removal: degree %d want 0", g.Degree(2))
+	}
+	if g.RemoveEdge(0, 2) {
+		t.Fatal("RemoveEdge(0,2) should report false")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestEdgesListing(t *testing.T) {
+	g := New(4)
+	g.AddEdge(2, 1)
+	g.AddEdge(0, 3)
+	g.AddEdge(0, 3)
+	g.AddEdge(1, 1)
+	edges := g.Edges()
+	want := []Edge{{0, 3}, {0, 3}, {1, 1}, {1, 2}}
+	if len(edges) != len(want) {
+		t.Fatalf("Edges: got %v want %v", edges, want)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("Edges[%d]: got %v want %v", i, edges[i], want[i])
+		}
+	}
+}
+
+func TestDegreeVector(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	// degrees: 3,1,1,1,0
+	nk := g.DegreeVector()
+	want := []int{1, 3, 0, 1}
+	if len(nk) != len(want) {
+		t.Fatalf("DegreeVector: got %v want %v", nk, want)
+	}
+	for i := range want {
+		if nk[i] != want[i] {
+			t.Fatalf("DegreeVector[%d]: got %d want %d", i, nk[i], want[i])
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	c := g.Clone()
+	c.AddEdge(0, 1)
+	if g.M() != 1 || c.M() != 2 {
+		t.Fatalf("clone not independent: g.m=%d c.m=%d", g.M(), c.M())
+	}
+}
+
+func TestSimplify(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 3)
+	s := g.Simplify()
+	if s.M() != 2 {
+		t.Fatalf("Simplify: m=%d want 2", s.M())
+	}
+	if s.Multiplicity(0, 1) != 1 || s.Multiplicity(1, 2) != 1 || s.LoopCount(3) != 0 {
+		t.Fatalf("Simplify wrong edges")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(7)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	// 5, 6 isolated
+	comps := g.ConnectedComponents()
+	if len(comps) != 4 {
+		t.Fatalf("components: got %d want 4", len(comps))
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 2 {
+		t.Fatalf("component sizes: got %d,%d want 3,2", len(comps[0]), len(comps[1]))
+	}
+	if g.IsConnected() {
+		t.Error("IsConnected should be false")
+	}
+	lcc, mapping := g.LargestComponent()
+	if lcc.N() != 3 || lcc.M() != 2 {
+		t.Fatalf("LCC: n=%d m=%d", lcc.N(), lcc.M())
+	}
+	if len(mapping) != 3 {
+		t.Fatalf("LCC mapping len %d", len(mapping))
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 0)
+	g.AddEdge(4, 4)
+	sub, mapping := g.InducedSubgraph([]int{0, 1, 3})
+	if sub.N() != 3 || sub.M() != 2 { // edges (0,1) and (3,0)
+		t.Fatalf("induced: n=%d m=%d want 3,2", sub.N(), sub.M())
+	}
+	if mapping[0] != 0 || mapping[1] != 1 || mapping[2] != 3 {
+		t.Fatalf("mapping: %v", mapping)
+	}
+	// Self-loop retention.
+	sub2, _ := g.InducedSubgraph([]int{4})
+	if sub2.M() != 1 || sub2.LoopCount(0) != 1 {
+		t.Fatalf("loop induced: m=%d loops=%d", sub2.M(), sub2.LoopCount(0))
+	}
+}
+
+func TestPreprocess(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 2)
+	g.AddEdge(4, 5)
+	clean, _ := Preprocess(g)
+	if clean.N() != 3 || clean.M() != 2 {
+		t.Fatalf("Preprocess: n=%d m=%d want 3,2", clean.N(), clean.M())
+	}
+	if clean.CountMultiEdges() != 0 {
+		t.Fatal("Preprocess left multi-edges")
+	}
+}
+
+func TestJointDegreeMatrix(t *testing.T) {
+	// Path 0-1-2: degrees 1,2,1 -> m(1,2)=2.
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	jdm := g.JointDegreeMatrix()
+	if jdm[[2]int{1, 2}] != 2 || len(jdm) != 1 {
+		t.Fatalf("path JDM: %v", jdm)
+	}
+	// Triangle: degrees all 2 -> m(2,2)=3.
+	tri := New(3)
+	tri.AddEdge(0, 1)
+	tri.AddEdge(1, 2)
+	tri.AddEdge(2, 0)
+	jdm = tri.JointDegreeMatrix()
+	if jdm[[2]int{2, 2}] != 3 || len(jdm) != 1 {
+		t.Fatalf("triangle JDM: %v", jdm)
+	}
+	// Self-loop node: degree 2 -> m(2,2) gains 1.
+	l := New(1)
+	l.AddEdge(0, 0)
+	jdm = l.JointDegreeMatrix()
+	if jdm[[2]int{2, 2}] != 1 {
+		t.Fatalf("loop JDM: %v", jdm)
+	}
+}
+
+func TestJDMConsistentWithDegrees(t *testing.T) {
+	// sum_{k'} mu(k,k') m(k,k') == k * n(k) for every k.
+	g := randomMultigraph(rand.New(rand.NewSource(7)), 40, 90)
+	jdm := g.JointDegreeMatrix()
+	nk := g.DegreeVector()
+	s := make(map[int]int)
+	for kk, c := range jdm {
+		k, kp := kk[0], kk[1]
+		if k == kp {
+			s[k] += 2 * c
+		} else {
+			s[k] += c
+			s[kp] += c
+		}
+	}
+	for k := 1; k < len(nk); k++ {
+		if s[k] != k*nk[k] {
+			t.Fatalf("JDM row sum for k=%d: got %d want %d", k, s[k], k*nk[k])
+		}
+	}
+}
+
+func TestTriangleCountsSmall(t *testing.T) {
+	// Triangle graph: every node in exactly 1 triangle.
+	tri := New(3)
+	tri.AddEdge(0, 1)
+	tri.AddEdge(1, 2)
+	tri.AddEdge(2, 0)
+	for u, c := range tri.TriangleCounts() {
+		if c != 1 {
+			t.Errorf("triangle t[%d]=%d want 1", u, c)
+		}
+	}
+	if tri.GlobalTriangles() != 1 {
+		t.Errorf("GlobalTriangles: %d want 1", tri.GlobalTriangles())
+	}
+	// K4: each node in C(3,2)=3 triangles, 4 total.
+	k4 := New(4)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			k4.AddEdge(i, j)
+		}
+	}
+	for u, c := range k4.TriangleCounts() {
+		if c != 3 {
+			t.Errorf("K4 t[%d]=%d want 3", u, c)
+		}
+	}
+	if k4.GlobalTriangles() != 4 {
+		t.Errorf("K4 triangles: %d want 4", k4.GlobalTriangles())
+	}
+	// Star: no triangles.
+	star := New(4)
+	star.AddEdge(0, 1)
+	star.AddEdge(0, 2)
+	star.AddEdge(0, 3)
+	if star.GlobalTriangles() != 0 {
+		t.Error("star should have no triangles")
+	}
+}
+
+func TestTriangleCountsMultiEdge(t *testing.T) {
+	// Triangle with doubled edge (0,1): A_01=2 so each corner's count doubles.
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	tc := g.TriangleCounts()
+	want := []int64{2, 2, 2}
+	for u := range want {
+		if tc[u] != want[u] {
+			t.Errorf("multi t[%d]=%d want %d", u, tc[u], want[u])
+		}
+	}
+}
+
+func TestTriangleLoopsIgnored(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 0)
+	g.AddEdge(0, 1)
+	for u, c := range g.TriangleCounts() {
+		if c != 0 {
+			t.Errorf("loop graph t[%d]=%d want 0", u, c)
+		}
+	}
+}
+
+func TestCountMultiEdges(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 2)
+	if got := g.CountMultiEdges(); got != 3 { // 2 excess + 1 loop
+		t.Fatalf("CountMultiEdges: got %d want 3", got)
+	}
+}
+
+// randomMultigraph builds a random multigraph (may include loops) for
+// property-style tests.
+func randomMultigraph(r *rand.Rand, n, m int) *Graph {
+	g := New(n)
+	for i := 0; i < m; i++ {
+		u := r.Intn(n)
+		v := r.Intn(n)
+		g.AddEdge(u, v)
+	}
+	return g
+}
+
+func TestQuickHandshakeInvariant(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		m := int(mRaw % 200)
+		g := randomMultigraph(rand.New(rand.NewSource(seed)), n, m)
+		return g.DegreeSum() == 2*g.M() && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRemoveInverseOfAdd(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomMultigraph(r, 20, 40)
+		before := g.Clone()
+		before.SortAdjacency()
+		u, v := r.Intn(20), r.Intn(20)
+		g.AddEdge(u, v)
+		if !g.RemoveEdge(u, v) {
+			return false
+		}
+		g.SortAdjacency()
+		if g.M() != before.M() {
+			return false
+		}
+		for i := 0; i < g.N(); i++ {
+			a, b := g.Neighbors(i), before.Neighbors(i)
+			if len(a) != len(b) {
+				return false
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSimplifyIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomMultigraph(rand.New(rand.NewSource(seed)), 15, 60)
+		s1 := g.Simplify()
+		s2 := s1.Simplify()
+		return s1.M() == s2.M() && s1.CountMultiEdges() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickComponentsPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomMultigraph(rand.New(rand.NewSource(seed)), 30, 25)
+		comps := g.ConnectedComponents()
+		seen := make(map[int]bool)
+		total := 0
+		for _, c := range comps {
+			total += len(c)
+			for _, u := range c {
+				if seen[u] {
+					return false
+				}
+				seen[u] = true
+			}
+		}
+		return total == g.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	g.adj[0] = append(g.adj[0], 1) // inject asymmetry
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate should detect corrupted adjacency")
+	}
+}
+
+func TestPanicsOnBadNode(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range node")
+		}
+	}()
+	g := New(1)
+	g.AddEdge(0, 5)
+}

@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"sgr/internal/metrics"
+)
+
+// WriteCSV emits the evaluation as tidy CSV rows
+// (dataset, method, property, run, l1, total_seconds, rewire_seconds),
+// one row per method/property/run — convenient for external plotting of
+// Fig. 3 and the tables.
+func (ev *Evaluation) WriteCSV(w io.Writer, dataset string) error {
+	cw := csv.NewWriter(w)
+	header := []string{"dataset", "method", "property", "run", "l1", "total_seconds", "rewire_seconds"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	methods := make([]Method, len(ev.Config.Methods))
+	copy(methods, ev.Config.Methods)
+	sort.Slice(methods, func(i, j int) bool { return methods[i] < methods[j] })
+	for _, m := range methods {
+		st := ev.Stats[m]
+		for pi, name := range metrics.PropertyNames {
+			for run, l1 := range st.PerProperty[pi] {
+				rec := []string{
+					dataset,
+					string(m),
+					name,
+					strconv.Itoa(run),
+					fmt.Sprintf("%.6f", l1),
+					fmt.Sprintf("%.6f", st.TotalTimes[run].Seconds()),
+					fmt.Sprintf("%.6f", st.RewireTimes[run].Seconds()),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig3CSV emits a Fig. 3 series as CSV rows
+// (dataset, method, fraction, avg_l1).
+func WriteFig3CSV(w io.Writer, dataset string, series Fig3Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "method", "fraction", "avg_l1"}); err != nil {
+		return err
+	}
+	methods := make([]Method, 0, len(series))
+	for m := range series {
+		methods = append(methods, m)
+	}
+	sort.Slice(methods, func(i, j int) bool { return methods[i] < methods[j] })
+	for _, m := range methods {
+		for _, pt := range series[m] {
+			rec := []string{
+				dataset,
+				string(m),
+				fmt.Sprintf("%.4f", pt.Fraction),
+				fmt.Sprintf("%.6f", pt.AvgL1),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

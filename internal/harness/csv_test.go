@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	g := smallGraph(t)
+	cfg := quickConfig()
+	cfg.Runs = 2
+	cfg.Methods = []Method{MethodRW, MethodProposed}
+	ev, err := Evaluate(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ev.WriteCSV(&buf, "toy"); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + 2 methods * 12 properties * 2 runs.
+	want := 1 + 2*12*2
+	if len(recs) != want {
+		t.Fatalf("csv rows: %d want %d", len(recs), want)
+	}
+	if recs[0][0] != "dataset" || len(recs[0]) != 7 {
+		t.Fatalf("csv header: %v", recs[0])
+	}
+	for _, rec := range recs[1:] {
+		if rec[0] != "toy" {
+			t.Fatalf("dataset column: %v", rec)
+		}
+	}
+}
+
+func TestWriteFig3CSV(t *testing.T) {
+	series := Fig3Series{
+		MethodRW:       []Fig3Point{{0.02, 0.5}, {0.10, 0.3}},
+		MethodProposed: []Fig3Point{{0.02, 0.2}, {0.10, 0.1}},
+	}
+	var buf bytes.Buffer
+	if err := WriteFig3CSV(&buf, "toy", series); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("csv rows: %d want 5", len(recs))
+	}
+}

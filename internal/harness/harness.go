@@ -1,0 +1,295 @@
+// Package harness drives the paper's experiments (Sec. V-VI): it applies
+// the six compared methods to an original graph under the paper's protocol —
+// per run, one uniformly random seed node starts BFS, snowball, forest fire
+// and a random walk, and the same random walk feeds subgraph sampling,
+// Gjoka et al.'s method and the proposed method — then scores every
+// generated graph on the 12 structural properties with the normalized L1
+// distance, and renders the tables and figure series of the paper.
+package harness
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"sgr/internal/core"
+	"sgr/internal/graph"
+	"sgr/internal/metrics"
+	"sgr/internal/props"
+	"sgr/internal/sampling"
+)
+
+// Method identifies one of the six compared methods.
+type Method string
+
+// The six methods of the evaluation (Sec. V-D).
+const (
+	MethodBFS      Method = "BFS"
+	MethodSnowball Method = "Snowball"
+	MethodFF       Method = "FF"
+	MethodRW       Method = "RW"
+	MethodGjoka    Method = "Gjoka et al."
+	MethodProposed Method = "Proposed"
+)
+
+// AllMethods lists the methods in the paper's table order.
+var AllMethods = []Method{
+	MethodBFS, MethodSnowball, MethodFF, MethodRW, MethodGjoka, MethodProposed,
+}
+
+// ParseMethod resolves a method name (case-sensitive, as printed).
+func ParseMethod(s string) (Method, error) {
+	for _, m := range AllMethods {
+		if string(m) == s {
+			return m, nil
+		}
+	}
+	return "", fmt.Errorf("harness: unknown method %q", s)
+}
+
+// Config controls one evaluation.
+type Config struct {
+	// Fraction is the percentage of queried nodes as a fraction (0.10 for
+	// the paper's main tables, 0.01 for Table V).
+	Fraction float64
+	// Runs is the number of independent runs averaged (10 in the paper;
+	// smaller values keep benches fast).
+	Runs int
+	// RC is the rewiring coefficient (paper 500).
+	RC float64
+	// SnowballK is snowball sampling's per-node neighbor cap (paper 50).
+	SnowballK int
+	// ForestFirePF is forest fire's burn probability (paper 0.7).
+	ForestFirePF float64
+	// Seed derives all per-run randomness.
+	Seed uint64
+	// Methods restricts evaluation to a subset (nil = all six).
+	Methods []Method
+	// Walker selects the random-walk variant feeding RW subgraph sampling
+	// and the two generation methods (default WalkerSimple). The paper
+	// suggests combining improved walks with the proposed method as future
+	// work; WalkerNonBacktracking preserves the degree-proportional
+	// stationary distribution the estimators assume and is the recommended
+	// variant. WalkerFrontier interleaves several walkers, which weakens
+	// the consecutive-step estimators (TE, clustering) — use with care.
+	Walker Walker
+	// FrontierDim is the walker count for WalkerFrontier (default 4).
+	FrontierDim int
+	// PropOpts tunes property computation (pivot thresholds etc.).
+	PropOpts props.Options
+}
+
+// Walker selects the crawl variant used for the shared random walk.
+type Walker string
+
+// Walk variants available to the protocol.
+const (
+	WalkerSimple          Walker = ""         // simple random walk (paper)
+	WalkerNonBacktracking Walker = "nbrw"     // Lee, Xu & Eun
+	WalkerMetropolis      Walker = "mh"       // Metropolis-Hastings
+	WalkerFrontier        Walker = "frontier" // Ribeiro & Towsley
+)
+
+func (c Config) withDefaults() Config {
+	if c.Runs <= 0 {
+		c.Runs = 1
+	}
+	if c.RC <= 0 {
+		c.RC = 500
+	}
+	if c.SnowballK <= 0 {
+		c.SnowballK = 50
+	}
+	if c.ForestFirePF <= 0 {
+		c.ForestFirePF = 0.7
+	}
+	if c.Methods == nil {
+		c.Methods = AllMethods
+	}
+	return c
+}
+
+// MethodStats aggregates one method's results over runs.
+type MethodStats struct {
+	Method Method
+	// PerProperty[i] holds the run-specific L1 distances of property i.
+	PerProperty [12][]float64
+	// TotalTimes and RewireTimes hold per-run generation timings; rewire
+	// times stay zero for subgraph sampling.
+	TotalTimes  []time.Duration
+	RewireTimes []time.Duration
+}
+
+// PropertyMeans returns the mean L1 distance per property.
+func (s *MethodStats) PropertyMeans() [12]float64 {
+	var out [12]float64
+	for i := range s.PerProperty {
+		out[i] = metrics.Mean(s.PerProperty[i])
+	}
+	return out
+}
+
+// AvgSD returns the average and standard deviation of the L1 distance over
+// the 12 properties, computed per the paper: first average each property
+// over runs, then take mean and SD across the 12 property means.
+func (s *MethodStats) AvgSD() (avg, sd float64) {
+	means := s.PropertyMeans()
+	return metrics.Mean(means[:]), metrics.StdDev(means[:])
+}
+
+// MeanTotalTime returns the mean generation time.
+func (s *MethodStats) MeanTotalTime() time.Duration {
+	return meanDuration(s.TotalTimes)
+}
+
+// MeanRewireTime returns the mean rewiring time.
+func (s *MethodStats) MeanRewireTime() time.Duration {
+	return meanDuration(s.RewireTimes)
+}
+
+func meanDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+// Evaluation is the outcome of Evaluate: per-method aggregated stats plus
+// the original graph's property values.
+type Evaluation struct {
+	Original *props.Result
+	Stats    map[Method]*MethodStats
+	Config   Config
+}
+
+// Evaluate runs the full protocol on the original graph g.
+func Evaluate(g *graph.Graph, cfg Config) (*Evaluation, error) {
+	cfg = cfg.withDefaults()
+	orig := props.Compute(g, cfg.PropOpts)
+	ev := &Evaluation{Original: orig, Stats: make(map[Method]*MethodStats), Config: cfg}
+	for _, m := range cfg.Methods {
+		ev.Stats[m] = &MethodStats{Method: m}
+	}
+	for run := 0; run < cfg.Runs; run++ {
+		if err := ev.runOnce(g, uint64(run)); err != nil {
+			return nil, fmt.Errorf("harness: run %d: %w", run, err)
+		}
+	}
+	return ev, nil
+}
+
+func (ev *Evaluation) runOnce(g *graph.Graph, run uint64) error {
+	cfg := ev.Config
+	r := rand.New(rand.NewPCG(cfg.Seed, run*0x9e3779b97f4a7c15+1))
+	seed := r.IntN(g.N())
+
+	wants := make(map[Method]bool, len(cfg.Methods))
+	for _, m := range cfg.Methods {
+		wants[m] = true
+	}
+
+	// Shared random walk for RW / Gjoka / Proposed.
+	var walk *sampling.Crawl
+	if wants[MethodRW] || wants[MethodGjoka] || wants[MethodProposed] {
+		c, err := ev.crawlWalk(g, seed, r)
+		if err != nil {
+			return err
+		}
+		walk = c
+	}
+
+	for _, m := range cfg.Methods {
+		gen, total, rewire, err := ev.generate(g, m, seed, walk, r)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m, err)
+		}
+		genProps := props.Compute(gen, cfg.PropOpts)
+		ds := metrics.PerProperty(genProps, ev.Original)
+		st := ev.Stats[m]
+		for i, d := range ds {
+			st.PerProperty[i] = append(st.PerProperty[i], d)
+		}
+		st.TotalTimes = append(st.TotalTimes, total)
+		st.RewireTimes = append(st.RewireTimes, rewire)
+	}
+	return nil
+}
+
+// crawlWalk performs the configured walk variant.
+func (ev *Evaluation) crawlWalk(g *graph.Graph, seed int, r *rand.Rand) (*sampling.Crawl, error) {
+	cfg := ev.Config
+	access := sampling.NewGraphAccess(g)
+	switch cfg.Walker {
+	case WalkerSimple:
+		return sampling.RandomWalk(access, seed, cfg.Fraction, r)
+	case WalkerNonBacktracking:
+		return sampling.NonBacktrackingWalk(access, seed, cfg.Fraction, r)
+	case WalkerMetropolis:
+		return sampling.MetropolisHastingsWalk(access, seed, cfg.Fraction, r)
+	case WalkerFrontier:
+		dim := cfg.FrontierDim
+		if dim <= 0 {
+			dim = 4
+		}
+		seeds := make([]int, dim)
+		seeds[0] = seed
+		for i := 1; i < dim; i++ {
+			seeds[i] = r.IntN(g.N())
+		}
+		return sampling.FrontierSampling(access, seeds, cfg.Fraction, r)
+	}
+	return nil, fmt.Errorf("harness: unknown walker %q", cfg.Walker)
+}
+
+// generate produces the generated graph for one method in one run.
+func (ev *Evaluation) generate(g *graph.Graph, m Method, seed int, walk *sampling.Crawl, r *rand.Rand) (*graph.Graph, time.Duration, time.Duration, error) {
+	cfg := ev.Config
+	subgraphOf := func(c *sampling.Crawl) (*graph.Graph, time.Duration) {
+		start := time.Now()
+		sub := sampling.BuildSubgraph(c)
+		return sub.Graph, time.Since(start)
+	}
+	switch m {
+	case MethodBFS:
+		c, err := sampling.BFS(sampling.NewGraphAccess(g), seed, cfg.Fraction)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		sg, d := subgraphOf(c)
+		return sg, d, 0, nil
+	case MethodSnowball:
+		c, err := sampling.Snowball(sampling.NewGraphAccess(g), seed, cfg.SnowballK, cfg.Fraction, r)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		sg, d := subgraphOf(c)
+		return sg, d, 0, nil
+	case MethodFF:
+		c, err := sampling.ForestFire(sampling.NewGraphAccess(g), seed, cfg.ForestFirePF, cfg.Fraction, r)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		sg, d := subgraphOf(c)
+		return sg, d, 0, nil
+	case MethodRW:
+		sg, d := subgraphOf(walk)
+		return sg, d, 0, nil
+	case MethodGjoka:
+		res, err := core.RestoreGjoka(walk, core.Options{RC: cfg.RC, Rand: r})
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return res.Graph, res.TotalTime, res.RewireTime, nil
+	case MethodProposed:
+		res, err := core.Restore(walk, core.Options{RC: cfg.RC, Rand: r})
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return res.Graph, res.TotalTime, res.RewireTime, nil
+	}
+	return nil, 0, 0, fmt.Errorf("unknown method %q", m)
+}

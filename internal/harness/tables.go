@@ -1,0 +1,174 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sgr/internal/metrics"
+)
+
+// RenderPerProperty renders a Table II / Table V style block: one row per
+// method, one column per property, the lowest value per column starred.
+func RenderPerProperty(dataset string, ev *Evaluation) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Dataset: %s (per-property normalized L1 distance; * = best)\n", dataset)
+	fmt.Fprintf(&b, "%-14s", "Method")
+	for _, name := range metrics.PropertyNames {
+		fmt.Fprintf(&b, "%9s", name)
+	}
+	b.WriteString("\n")
+
+	var best [12]float64
+	for i := range best {
+		best[i] = -1
+	}
+	for _, m := range ev.Config.Methods {
+		means := ev.Stats[m].PropertyMeans()
+		for i, v := range means {
+			if best[i] < 0 || v < best[i] {
+				best[i] = v
+			}
+		}
+	}
+	for _, m := range ev.Config.Methods {
+		fmt.Fprintf(&b, "%-14s", m)
+		means := ev.Stats[m].PropertyMeans()
+		for i, v := range means {
+			mark := " "
+			if v == best[i] {
+				mark = "*"
+			}
+			fmt.Fprintf(&b, "%8.3f%s", v, mark)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderAvgSD renders a Table III style block over several datasets: per
+// dataset and method, avg ± sd of the L1 distance across the 12 properties.
+func RenderAvgSD(evals map[string]*Evaluation) string {
+	names := make([]string, 0, len(evals))
+	for n := range evals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	b.WriteString("Average +- SD of the L1 distance over the 12 properties (* = best)\n")
+	fmt.Fprintf(&b, "%-12s", "Dataset")
+	var methods []Method
+	if len(names) > 0 {
+		methods = evals[names[0]].Config.Methods
+	}
+	for _, m := range methods {
+		fmt.Fprintf(&b, "%11s      ", truncMethod(m))
+	}
+	b.WriteString("\n")
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-12s", n)
+		best := -1.0
+		for _, m := range methods {
+			avg, _ := evals[n].Stats[m].AvgSD()
+			if best < 0 || avg < best {
+				best = avg
+			}
+		}
+		for _, m := range methods {
+			avg, sd := evals[n].Stats[m].AvgSD()
+			mark := " "
+			if avg == best {
+				mark = "*"
+			}
+			fmt.Fprintf(&b, "%6.3f+-%.3f%s    ", avg, sd, mark)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderTimes renders a Table IV style block: mean generation times, with
+// total and rewiring time for the generation methods.
+func RenderTimes(evals map[string]*Evaluation) string {
+	names := make([]string, 0, len(evals))
+	for n := range evals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	b.WriteString("Generation times (mean seconds; generation methods also list rewiring)\n")
+	fmt.Fprintf(&b, "%-12s", "Dataset")
+	var methods []Method
+	if len(names) > 0 {
+		methods = evals[names[0]].Config.Methods
+	}
+	for _, m := range methods {
+		if m == MethodGjoka || m == MethodProposed {
+			fmt.Fprintf(&b, "%12s (rewire)", truncMethod(m))
+		} else {
+			fmt.Fprintf(&b, "%12s", truncMethod(m))
+		}
+	}
+	b.WriteString("\n")
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-12s", n)
+		for _, m := range methods {
+			st := evals[n].Stats[m]
+			if m == MethodGjoka || m == MethodProposed {
+				fmt.Fprintf(&b, "%12.3f %8.3f", st.MeanTotalTime().Seconds(), st.MeanRewireTime().Seconds())
+			} else {
+				fmt.Fprintf(&b, "%12.4f", st.MeanTotalTime().Seconds())
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Fig3Point is one point of a Fig. 3 series.
+type Fig3Point struct {
+	Fraction float64
+	AvgL1    float64
+}
+
+// Fig3Series holds, per method, the average-L1 curve over query fractions.
+type Fig3Series map[Method][]Fig3Point
+
+// RenderFig3 renders the series as aligned columns, one row per fraction.
+func RenderFig3(dataset string, series Fig3Series, methods []Method) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig.3 series for %s: average L1 over 12 properties vs fraction queried\n", dataset)
+	fmt.Fprintf(&b, "%-10s", "fraction")
+	for _, m := range methods {
+		fmt.Fprintf(&b, "%14s", truncMethod(m))
+	}
+	b.WriteString("\n")
+	if len(methods) == 0 {
+		return b.String()
+	}
+	for i := range series[methods[0]] {
+		fmt.Fprintf(&b, "%-10.2f", series[methods[0]][i].Fraction)
+		for _, m := range methods {
+			fmt.Fprintf(&b, "%14.3f", series[m][i].AvgL1)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func truncMethod(m Method) string {
+	s := string(m)
+	if len(s) > 12 {
+		return s[:12]
+	}
+	return s
+}
+
+// AvgL1 returns the mean over the 12 per-property mean distances for one
+// method — the quantity plotted in Fig. 3.
+func (ev *Evaluation) AvgL1(m Method) float64 {
+	avg, _ := ev.Stats[m].AvgSD()
+	return avg
+}

@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestWalkerVariantsRunThroughRestoration exercises the future-work
+// combination of improved walks with the proposed method: every walker
+// variant must drive the full pipeline without error and yield finite
+// distances.
+func TestWalkerVariantsRunThroughRestoration(t *testing.T) {
+	g := smallGraph(t)
+	for _, w := range []Walker{WalkerSimple, WalkerNonBacktracking, WalkerMetropolis, WalkerFrontier} {
+		w := w
+		t.Run(string(w)+"/", func(t *testing.T) {
+			cfg := quickConfig()
+			cfg.Runs = 1
+			cfg.Walker = w
+			cfg.Methods = []Method{MethodRW, MethodProposed}
+			ev, err := Evaluate(g, cfg)
+			if err != nil {
+				t.Fatalf("walker %q: %v", w, err)
+			}
+			avg := ev.AvgL1(MethodProposed)
+			if avg < 0 || avg != avg { // NaN check
+				t.Fatalf("walker %q: bad avg L1 %v", w, avg)
+			}
+		})
+	}
+}
+
+func TestUnknownWalkerFails(t *testing.T) {
+	g := smallGraph(t)
+	cfg := quickConfig()
+	cfg.Walker = Walker("bogus")
+	cfg.Methods = []Method{MethodProposed}
+	if _, err := Evaluate(g, cfg); err == nil {
+		t.Fatal("want error for unknown walker")
+	}
+}
+
+func TestFrontierDimDefault(t *testing.T) {
+	g := smallGraph(t)
+	cfg := quickConfig()
+	cfg.Runs = 1
+	cfg.Walker = WalkerFrontier
+	cfg.FrontierDim = 0 // default 4
+	cfg.Methods = []Method{MethodRW}
+	if _, err := Evaluate(g, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+package layout
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sgr/internal/gen"
+	"sgr/internal/graph"
+)
+
+func rng(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, seed+1)) }
+
+func TestLayoutBoundsAndDeterminism(t *testing.T) {
+	g := gen.HolmeKim(200, 3, 0.5, rng(1))
+	a := FruchtermanReingold(g, Options{Iterations: 30, Rand: rng(2)})
+	if len(a) != g.N() {
+		t.Fatalf("positions: %d want %d", len(a), g.N())
+	}
+	for i, p := range a {
+		if p.X < 0 || p.X > 1 || p.Y < 0 || p.Y > 1 {
+			t.Fatalf("node %d out of box: %+v", i, p)
+		}
+	}
+	b := FruchtermanReingold(g, Options{Iterations: 30, Rand: rng(2)})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("layout not deterministic at node %d", i)
+		}
+	}
+}
+
+func TestLayoutSeparatesComponentsFromCluster(t *testing.T) {
+	// Two cliques joined by one edge should end farther apart than nodes
+	// within one clique.
+	g := graph.New(10)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			g.AddEdge(i, j)
+			g.AddEdge(i+5, j+5)
+		}
+	}
+	g.AddEdge(0, 5)
+	pos := FruchtermanReingold(g, Options{Iterations: 200, Rand: rng(3)})
+	intra := dist(pos[1], pos[2])
+	inter := dist(pos[1], pos[6])
+	if inter <= intra {
+		t.Errorf("cliques not separated: intra %v inter %v", intra, inter)
+	}
+}
+
+func dist(a, b Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+func TestLayoutTrivialGraphs(t *testing.T) {
+	empty := graph.New(0)
+	if got := FruchtermanReingold(empty, Options{Rand: rng(4)}); len(got) != 0 {
+		t.Fatal("empty graph should have no positions")
+	}
+	single := graph.New(1)
+	if got := FruchtermanReingold(single, Options{Rand: rng(5)}); len(got) != 1 {
+		t.Fatal("single node should have one position")
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	g := gen.HolmeKim(30, 2, 0.5, rng(6))
+	pos := FruchtermanReingold(g, Options{Iterations: 10, Rand: rng(7)})
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, g, pos, SVGOptions{Title: "toy"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatal("malformed SVG envelope")
+	}
+	if !strings.Contains(out, "toy") {
+		t.Fatal("missing title")
+	}
+	if strings.Count(out, "<circle") != g.N() {
+		t.Fatalf("circle count %d want %d", strings.Count(out, "<circle"), g.N())
+	}
+	if strings.Count(out, "<line") != g.M() {
+		t.Fatalf("line count %d want %d", strings.Count(out, "<line"), g.M())
+	}
+}
+
+func TestSaveSVG(t *testing.T) {
+	g := gen.HolmeKim(20, 2, 0.5, rng(8))
+	path := filepath.Join(t.TempDir(), "g.svg")
+	if err := SaveSVG(path, g, Options{Iterations: 5, Rand: rng(9)}, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}

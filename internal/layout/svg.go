@@ -1,0 +1,95 @@
+package layout
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"sgr/internal/graph"
+)
+
+// SVGOptions styles the rendering.
+type SVGOptions struct {
+	// Size is the image side length in pixels (default 800).
+	Size int
+	// NodeRadius in pixels (default 1.5).
+	NodeRadius float64
+	// EdgeOpacity in (0,1] (default 0.15).
+	EdgeOpacity float64
+	// Title annotates the image.
+	Title string
+	// NodeColors optionally colors each node (e.g. queried vs. visible vs.
+	// added in a restoration); nil renders all nodes black. Entries must be
+	// SVG color strings; missing/empty entries fall back to black.
+	NodeColors []string
+}
+
+func (o SVGOptions) withDefaults() SVGOptions {
+	if o.Size <= 0 {
+		o.Size = 800
+	}
+	if o.NodeRadius <= 0 {
+		o.NodeRadius = 1.5
+	}
+	if o.EdgeOpacity <= 0 {
+		o.EdgeOpacity = 0.15
+	}
+	return o
+}
+
+// WriteSVG renders the graph at the given positions, paper-style: gray
+// edge curves under black node circles.
+func WriteSVG(w io.Writer, g *graph.Graph, pos []Point, opts SVGOptions) error {
+	opts = opts.withDefaults()
+	bw := bufio.NewWriter(w)
+	s := float64(opts.Size)
+	margin := 0.03 * s
+	scale := s - 2*margin
+	px := func(p Point) (float64, float64) {
+		return margin + p.X*scale, margin + p.Y*scale
+	}
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opts.Size, opts.Size, opts.Size, opts.Size)
+	fmt.Fprintf(bw, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	if opts.Title != "" {
+		fmt.Fprintf(bw, `<text x="%f" y="%f" font-size="%f" font-family="sans-serif">%s</text>`+"\n",
+			margin, margin*0.8, 0.025*s, opts.Title)
+	}
+	fmt.Fprintf(bw, `<g stroke="#888888" stroke-opacity="%.3f" stroke-width="0.5">`+"\n", opts.EdgeOpacity)
+	for _, e := range g.Edges() {
+		if e.U == e.V {
+			continue
+		}
+		x1, y1 := px(pos[e.U])
+		x2, y2 := px(pos[e.V])
+		fmt.Fprintf(bw, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/>`+"\n", x1, y1, x2, y2)
+	}
+	fmt.Fprintln(bw, "</g>")
+	fmt.Fprintf(bw, `<g fill="black">`+"\n")
+	for v := 0; v < g.N(); v++ {
+		x, y := px(pos[v])
+		color := ""
+		if v < len(opts.NodeColors) && opts.NodeColors[v] != "" && opts.NodeColors[v] != "black" {
+			color = fmt.Sprintf(` fill="%s"`, opts.NodeColors[v])
+		}
+		fmt.Fprintf(bw, `<circle cx="%.1f" cy="%.1f" r="%.2f"%s/>`+"\n", x, y, opts.NodeRadius, color)
+	}
+	fmt.Fprintln(bw, "</g>")
+	fmt.Fprintln(bw, "</svg>")
+	return bw.Flush()
+}
+
+// SaveSVG lays out g and writes the rendering to path.
+func SaveSVG(path string, g *graph.Graph, lopts Options, sopts SVGOptions) error {
+	pos := FruchtermanReingold(g, lopts)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteSVG(f, g, pos, sopts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,104 @@
+// Package metrics implements the accuracy measure of Sec. V-C: the
+// normalized L1 distance between corresponding structural properties of the
+// original and generated graphs, sum_i |x~_i - x_i| / sum_i x_i. For scalar
+// properties this reduces to the relative error.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"sgr/internal/props"
+)
+
+// Scalar returns the normalized L1 distance (relative error) between scalar
+// property values, |got - want| / |want|.
+func Scalar(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// Dist returns the normalized L1 distance between two distributions or
+// degree-indexed property vectors: sum over the union of keys of
+// |got[k] - want[k]|, divided by sum_k want[k]. Keys are visited in sorted
+// order so results are bit-for-bit reproducible.
+func Dist(got, want map[int]float64) float64 {
+	keys := make([]int, 0, len(got)+len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	num, den := 0.0, 0.0
+	for _, k := range keys {
+		num += math.Abs(got[k] - want[k])
+		den += want[k]
+	}
+	if den == 0 {
+		if num == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return num / den
+}
+
+// PropertyNames lists the paper's 12 properties in Table II column order.
+var PropertyNames = []string{
+	"n", "kbar", "P(k)", "knn(k)", "cbar", "c(k)",
+	"P(s)", "lbar", "P(l)", "lmax", "b(k)", "lambda1",
+}
+
+// PerProperty returns the 12 normalized L1 distances between a generated
+// graph's properties and the original's, in PropertyNames order.
+func PerProperty(generated, original *props.Result) []float64 {
+	return []float64{
+		Scalar(float64(generated.N), float64(original.N)),
+		Scalar(generated.AvgDegree, original.AvgDegree),
+		Dist(generated.DegreeDist, original.DegreeDist),
+		Dist(generated.NeighborConnectivity, original.NeighborConnectivity),
+		Scalar(generated.GlobalClustering, original.GlobalClustering),
+		Dist(generated.DegreeClustering, original.DegreeClustering),
+		Dist(generated.ESP, original.ESP),
+		Scalar(generated.AvgPathLen, original.AvgPathLen),
+		Dist(generated.PathLenDist, original.PathLenDist),
+		Scalar(float64(generated.Diameter), float64(original.Diameter)),
+		Dist(generated.DegreeBetweenness, original.DegreeBetweenness),
+		Scalar(generated.Lambda1, original.Lambda1),
+	}
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"sgr/internal/props"
+)
+
+func TestScalar(t *testing.T) {
+	if got := Scalar(90, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("Scalar(90,100) = %v", got)
+	}
+	if got := Scalar(100, 100); got != 0 {
+		t.Fatalf("Scalar equal = %v", got)
+	}
+	if got := Scalar(0, 0); got != 0 {
+		t.Fatalf("Scalar(0,0) = %v", got)
+	}
+	if got := Scalar(1, 0); !math.IsInf(got, 1) {
+		t.Fatalf("Scalar(1,0) = %v", got)
+	}
+}
+
+func TestDist(t *testing.T) {
+	want := map[int]float64{1: 0.5, 2: 0.3, 3: 0.2}
+	if got := Dist(want, want); got != 0 {
+		t.Fatalf("identical distributions: %v", got)
+	}
+	got := map[int]float64{1: 0.5, 2: 0.2, 4: 0.3}
+	// |0.5-0.5| + |0.2-0.3| + |0-0.2| + extra |0.3| = 0.6; den = 1.
+	if d := Dist(got, want); math.Abs(d-0.6) > 1e-12 {
+		t.Fatalf("Dist = %v want 0.6", d)
+	}
+	if d := Dist(map[int]float64{}, map[int]float64{}); d != 0 {
+		t.Fatalf("empty Dist = %v", d)
+	}
+	if d := Dist(map[int]float64{1: 1}, map[int]float64{}); !math.IsInf(d, 1) {
+		t.Fatalf("Dist onto empty = %v", d)
+	}
+}
+
+func TestDistAsymmetryOfNormalization(t *testing.T) {
+	// Normalization is by the second (original) argument.
+	a := map[int]float64{1: 2}
+	b := map[int]float64{1: 4}
+	if d := Dist(a, b); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("Dist(a,b) = %v want 0.5", d)
+	}
+	if d := Dist(b, a); math.Abs(d-1.0) > 1e-12 {
+		t.Fatalf("Dist(b,a) = %v want 1.0", d)
+	}
+}
+
+func TestPerPropertyOrderAndIdentity(t *testing.T) {
+	if len(PropertyNames) != 12 {
+		t.Fatalf("want 12 property names, got %d", len(PropertyNames))
+	}
+	r := &props.Result{
+		N:                    10,
+		AvgDegree:            2,
+		DegreeDist:           map[int]float64{2: 1},
+		NeighborConnectivity: map[int]float64{2: 2},
+		GlobalClustering:     0.5,
+		DegreeClustering:     map[int]float64{2: 0.5},
+		ESP:                  map[int]float64{0: 1},
+		AvgPathLen:           2.5,
+		PathLenDist:          map[int]float64{1: 0.4, 2: 0.6},
+		Diameter:             3,
+		DegreeBetweenness:    map[int]float64{2: 4},
+		Lambda1:              2.1,
+	}
+	ds := PerProperty(r, r)
+	if len(ds) != 12 {
+		t.Fatalf("want 12 distances, got %d", len(ds))
+	}
+	for i, d := range ds {
+		if d != 0 {
+			t.Errorf("identity distance %s = %v", PropertyNames[i], d)
+		}
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if m := Mean(xs); math.Abs(m-2.5) > 1e-12 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if s := StdDev(xs); math.Abs(s-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("StdDev = %v", s)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty stats must be 0")
+	}
+}

@@ -1,0 +1,77 @@
+package props
+
+import (
+	"testing"
+
+	"sgr/internal/gen"
+	"sgr/internal/graph"
+)
+
+func benchGraph(b *testing.B, n int) *graph.Graph {
+	b.Helper()
+	return gen.HolmeKim(n, 4, 0.5, rng(1))
+}
+
+func BenchmarkComputeAllExact(b *testing.B) {
+	g := benchGraph(b, 2000)
+	opts := Options{ExactThreshold: 5000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compute(g, opts)
+	}
+}
+
+func BenchmarkComputeAllPivot(b *testing.B) {
+	g := benchGraph(b, 5000)
+	opts := Options{ExactThreshold: 100, Pivots: 500}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compute(g, opts)
+	}
+}
+
+func BenchmarkBrandesAllSources(b *testing.B) {
+	g := benchGraph(b, 1500)
+	c := newCSR(g)
+	sources := make([]int32, g.N())
+	for i := range sources {
+		sources[i] = int32(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		computePaths(c, sources, 1, 0)
+	}
+}
+
+func BenchmarkLambda1(b *testing.B) {
+	g := benchGraph(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Lambda1(g)
+	}
+}
+
+func BenchmarkEdgewiseSharedPartners(b *testing.B) {
+	g := benchGraph(b, 3000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EdgewiseSharedPartners(g)
+	}
+}
+
+func BenchmarkCoreNumbers(b *testing.B) {
+	g := benchGraph(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CoreNumbers(g)
+	}
+}
+
+func BenchmarkDissimilarity(b *testing.B) {
+	a := benchGraph(b, 800)
+	g := gen.HolmeKim(800, 4, 0.3, rng(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dissimilarity(a, g, Options{})
+	}
+}

@@ -1,0 +1,192 @@
+package props
+
+import (
+	"math"
+	"sort"
+
+	"sgr/internal/graph"
+)
+
+// Dissimilarity computes the D-measure of Schieber et al. (Nature
+// Communications 2017) between two graphs, the metric the paper's
+// future-work section proposes for judging restoration quality. It combines
+// (with the authors' recommended weights w1 = w2 = 0.45, w3 = 0.1) the
+// Jensen-Shannon divergence between the graphs' network node dispersion
+// profiles, the difference of their average-distance-distribution entropies
+// (NND), and an alpha-centrality term approximated here by the same measure
+// on graph complements' degree distributions.
+//
+// The implementation follows the published definition for connected graphs;
+// both inputs are reduced to their largest connected components.
+func Dissimilarity(a, b *graph.Graph, opts Options) float64 {
+	const w1, w2, w3 = 0.45, 0.45, 0.1
+	pa, nndA := distanceProfile(a, opts)
+	pb, nndB := distanceProfile(b, opts)
+	first := math.Sqrt(jsDivergence(pa, pb) / math.Log(2))
+	second := math.Abs(math.Sqrt(nndA) - math.Sqrt(nndB))
+	third := alphaTerm(a, b)
+	return w1*first + w2*second + w3*third
+}
+
+// distanceProfile returns the graph's mean distance distribution mu(l) and
+// its network node dispersion (normalized Jensen-Shannon divergence of the
+// per-node distance distributions).
+func distanceProfile(g *graph.Graph, opts Options) ([]float64, float64) {
+	opts = opts.withDefaults()
+	lcc, _ := g.LargestComponent()
+	n := lcc.N()
+	if n <= 1 {
+		return []float64{1}, 0
+	}
+	c := newCSR(lcc)
+	sources := pickSources(n, opts)
+
+	// Per-node distance distributions p_i(l) for l = 1..diam.
+	rows := make([][]float64, len(sources))
+	diam := 1
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	for si, s := range sources {
+		for i := range dist {
+			dist[i] = -1
+		}
+		queue = queue[:0]
+		dist[s] = 0
+		queue = append(queue, s)
+		counts := []float64{}
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for e := c.offset[u]; e < c.offset[u+1]; e++ {
+				v := c.nbr[e]
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+					l := int(dist[v])
+					for len(counts) < l {
+						counts = append(counts, 0)
+					}
+					counts[l-1]++
+				}
+			}
+		}
+		for i := range counts {
+			counts[i] /= float64(n - 1)
+		}
+		rows[si] = counts
+		if len(counts) > diam {
+			diam = len(counts)
+		}
+	}
+	// Mean distribution mu(l).
+	mu := make([]float64, diam)
+	for _, row := range rows {
+		for l, p := range row {
+			mu[l] += p
+		}
+	}
+	for l := range mu {
+		mu[l] /= float64(len(rows))
+	}
+	// NND: JS divergence of rows around mu, normalized by log(diam + 1).
+	js := 0.0
+	for _, row := range rows {
+		for l, p := range row {
+			if p > 0 {
+				js += p * math.Log(p/mu[l])
+			}
+		}
+	}
+	js /= float64(len(rows))
+	nnd := 0.0
+	if diam > 0 {
+		nnd = js / math.Log(float64(diam+1))
+	}
+	return mu, nnd
+}
+
+// jsDivergence computes the Jensen-Shannon divergence between two
+// distributions given as dense slices (padded with zeros).
+func jsDivergence(p, q []float64) float64 {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	at := func(v []float64, i int) float64 {
+		if i < len(v) {
+			return v[i]
+		}
+		return 0
+	}
+	js := 0.0
+	for i := 0; i < n; i++ {
+		pi, qi := at(p, i), at(q, i)
+		m := (pi + qi) / 2
+		if pi > 0 {
+			js += pi * math.Log(pi/m) / 2
+		}
+		if qi > 0 {
+			js += qi * math.Log(qi/m) / 2
+		}
+	}
+	return js
+}
+
+// alphaTerm is the third D-measure component: the difference between the
+// normalized degree-distribution vectors of the graphs and of their
+// complements, following the PND formulation of Schieber et al.
+func alphaTerm(a, b *graph.Graph) float64 {
+	return (degreeVectorGap(a, b, false) + degreeVectorGap(a, b, true)) / 2
+}
+
+func degreeVectorGap(a, b *graph.Graph, complement bool) float64 {
+	pa := normalizedDegreeWeights(a, complement)
+	pb := normalizedDegreeWeights(b, complement)
+	n := len(pa)
+	if len(pb) > n {
+		n = len(pb)
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		var va, vb float64
+		if i < len(pa) {
+			va = pa[i]
+		}
+		if i < len(pb) {
+			vb = pb[i]
+		}
+		d := va - vb
+		sum += d * d
+	}
+	return math.Sqrt(sum / 2)
+}
+
+// normalizedDegreeWeights returns the sorted, normalized degree sequence of
+// g (or of its complement), as a probability vector.
+func normalizedDegreeWeights(g *graph.Graph, complement bool) []float64 {
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	deg := make([]float64, n)
+	total := 0.0
+	for u := 0; u < n; u++ {
+		d := float64(g.Degree(u))
+		if complement {
+			d = float64(n-1) - d
+			if d < 0 {
+				d = 0
+			}
+		}
+		deg[u] = d
+		total += d
+	}
+	if total == 0 {
+		return []float64{1}
+	}
+	for i := range deg {
+		deg[i] /= total
+	}
+	// Sort descending for alignment.
+	sort.Sort(sort.Reverse(sort.Float64Slice(deg)))
+	return deg
+}

@@ -1,0 +1,134 @@
+package props
+
+import (
+	"math"
+
+	"sgr/internal/graph"
+)
+
+// Assortativity returns the degree assortativity coefficient (Newman's r):
+// the Pearson correlation of degrees across edge endpoints. Social graphs
+// are typically assortative (r > 0); crawled subgraphs distort this, which
+// makes it a useful extra diagnostic alongside the paper's 12 properties.
+// Self-loops are excluded; multi-edges count with multiplicity. Returns 0
+// for degenerate (constant-degree or empty) graphs.
+func Assortativity(g *graph.Graph) float64 {
+	var sx, sy, sxy, sx2, sy2, n float64
+	for u := 0; u < g.N(); u++ {
+		du := float64(g.Degree(u))
+		for _, v := range g.Neighbors(u) {
+			if v == u {
+				continue
+			}
+			dv := float64(g.Degree(v))
+			// Each undirected edge appears twice (u->v, v->u), which
+			// symmetrizes the correlation.
+			sx += du
+			sy += dv
+			sxy += du * dv
+			sx2 += du * du
+			sy2 += dv * dv
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	cov := sxy/n - (sx/n)*(sy/n)
+	vx := sx2/n - (sx/n)*(sx/n)
+	vy := sy2/n - (sy/n)*(sy/n)
+	den := math.Sqrt(vx * vy)
+	if den == 0 {
+		return 0
+	}
+	return cov / den
+}
+
+// CoreNumbers returns the k-core number of every node (the largest k such
+// that the node belongs to a subgraph of minimum degree k), via the
+// Batagelj–Zaveršnik peeling algorithm. Self-loops are ignored; multi-edges
+// count once (core decomposition is a simple-graph notion).
+func CoreNumbers(g *graph.Graph) []int {
+	n := g.N()
+	deg := make([]int, n)
+	maxDeg := 0
+	adj := make([][]int, n)
+	for u := 0; u < n; u++ {
+		mm := g.NeighborMultiplicities(u)
+		row := make([]int, 0, len(mm))
+		for v := range mm {
+			row = append(row, v)
+		}
+		adj[u] = row
+		deg[u] = len(row)
+		if deg[u] > maxDeg {
+			maxDeg = deg[u]
+		}
+	}
+	// Bucket sort nodes by degree.
+	bin := make([]int, maxDeg+2)
+	for _, d := range deg {
+		bin[d]++
+	}
+	start := 0
+	for d := 0; d <= maxDeg; d++ {
+		c := bin[d]
+		bin[d] = start
+		start += c
+	}
+	vert := make([]int, n)
+	pos := make([]int, n)
+	for u := 0; u < n; u++ {
+		pos[u] = bin[deg[u]]
+		vert[pos[u]] = u
+		bin[deg[u]]++
+	}
+	for d := maxDeg; d > 0; d-- {
+		bin[d] = bin[d-1]
+	}
+	bin[0] = 0
+
+	core := make([]int, n)
+	copy(core, deg)
+	for i := 0; i < n; i++ {
+		u := vert[i]
+		for _, v := range adj[u] {
+			if core[v] > core[u] {
+				dv := core[v]
+				pv, pw := pos[v], bin[dv]
+				w := vert[pw]
+				if v != w {
+					pos[v], pos[w] = pw, pv
+					vert[pv], vert[pw] = w, v
+				}
+				bin[dv]++
+				core[v]--
+			}
+		}
+	}
+	return core
+}
+
+// CoreDistribution returns the fraction of nodes at each core number.
+func CoreDistribution(g *graph.Graph) map[int]float64 {
+	out := make(map[int]float64)
+	cores := CoreNumbers(g)
+	for _, c := range cores {
+		out[c]++
+	}
+	for k := range out {
+		out[k] /= float64(len(cores))
+	}
+	return out
+}
+
+// Degeneracy returns the graph degeneracy (the maximum core number).
+func Degeneracy(g *graph.Graph) int {
+	max := 0
+	for _, c := range CoreNumbers(g) {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}

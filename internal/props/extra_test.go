@@ -1,0 +1,93 @@
+package props
+
+import (
+	"math"
+	"testing"
+
+	"sgr/internal/gen"
+	"sgr/internal/graph"
+)
+
+func TestAssortativityKnownValues(t *testing.T) {
+	// Star: perfectly disassortative, r = -1.
+	if r := Assortativity(star(6)); math.Abs(r-(-1)) > 1e-9 {
+		t.Fatalf("star assortativity = %v want -1", r)
+	}
+	// Clique: constant degree -> defined as 0 here (zero variance).
+	if r := Assortativity(clique(5)); r != 0 {
+		t.Fatalf("clique assortativity = %v want 0", r)
+	}
+	// Two stars joined hub-to-hub remain disassortative.
+	g := graph.New(8)
+	for i := 1; i < 4; i++ {
+		g.AddEdge(0, i)
+		g.AddEdge(4, 4+i)
+	}
+	g.AddEdge(0, 4)
+	if r := Assortativity(g); r >= 0 {
+		t.Fatalf("double star assortativity = %v want negative", r)
+	}
+}
+
+func TestAssortativityRange(t *testing.T) {
+	g := gen.HolmeKim(800, 3, 0.5, rng(10))
+	r := Assortativity(g)
+	if r < -1 || r > 1 {
+		t.Fatalf("assortativity out of range: %v", r)
+	}
+}
+
+func TestCoreNumbersKnownValues(t *testing.T) {
+	// Triangle with a pendant: triangle nodes core 2, pendant core 1.
+	g := triangle()
+	g.AddNode()
+	g.AddEdge(2, 3)
+	cores := CoreNumbers(g)
+	want := []int{2, 2, 2, 1}
+	for i, w := range want {
+		if cores[i] != w {
+			t.Fatalf("core[%d] = %d want %d (all: %v)", i, cores[i], w, cores)
+		}
+	}
+	// K5: all cores 4.
+	for _, c := range CoreNumbers(clique(5)) {
+		if c != 4 {
+			t.Fatalf("K5 core = %d", c)
+		}
+	}
+	// Path: all cores 1.
+	for _, c := range CoreNumbers(path4()) {
+		if c != 1 {
+			t.Fatalf("path core = %d", c)
+		}
+	}
+}
+
+func TestCoreNumbersIgnoreLoopsAndMultiEdges(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 0)
+	cores := CoreNumbers(g)
+	if cores[0] != 1 || cores[1] != 1 {
+		t.Fatalf("multigraph cores: %v", cores)
+	}
+}
+
+func TestCoreDistributionAndDegeneracy(t *testing.T) {
+	g := triangle()
+	g.AddNode()
+	g.AddEdge(2, 3)
+	dist := CoreDistribution(g)
+	if math.Abs(dist[2]-0.75) > 1e-12 || math.Abs(dist[1]-0.25) > 1e-12 {
+		t.Fatalf("core distribution: %v", dist)
+	}
+	if d := Degeneracy(g); d != 2 {
+		t.Fatalf("degeneracy = %d", d)
+	}
+	// BA graphs with attachment m have degeneracy exactly m.
+	ba := gen.BarabasiAlbert(500, 3, rng(11))
+	if d := Degeneracy(ba); d != 3 {
+		t.Fatalf("BA degeneracy = %d want 3", d)
+	}
+}

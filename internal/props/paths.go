@@ -1,0 +1,220 @@
+package props
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"sgr/internal/graph"
+)
+
+// csr is a compact adjacency form for path computations: distinct neighbors
+// with edge multiplicities, self-loops dropped (they never lie on shortest
+// paths).
+type csr struct {
+	n      int
+	offset []int32
+	nbr    []int32
+	mult   []int32
+}
+
+func newCSR(g *graph.Graph) *csr {
+	n := g.N()
+	c := &csr{n: n, offset: make([]int32, n+1)}
+	type ent struct{ v, m int32 }
+	rows := make([][]ent, n)
+	total := 0
+	for u := 0; u < n; u++ {
+		mm := g.NeighborMultiplicities(u)
+		row := make([]ent, 0, len(mm))
+		for v, m := range mm {
+			row = append(row, ent{int32(v), int32(m)})
+		}
+		// Sorted rows make float accumulation order, and hence results,
+		// bit-for-bit reproducible.
+		sort.Slice(row, func(i, j int) bool { return row[i].v < row[j].v })
+		rows[u] = row
+		total += len(row)
+	}
+	c.nbr = make([]int32, total)
+	c.mult = make([]int32, total)
+	pos := 0
+	for u := 0; u < n; u++ {
+		c.offset[u] = int32(pos)
+		for _, e := range rows[u] {
+			c.nbr[pos] = e.v
+			c.mult[pos] = e.m
+			pos++
+		}
+	}
+	c.offset[n] = int32(pos)
+	return c
+}
+
+// PathStats aggregates the shortest-path properties of Sec. V-B
+// (properties 8-11) over the component reachable from the used sources.
+type PathStats struct {
+	// AvgLen is lbar, the mean shortest-path length over node pairs.
+	AvgLen float64
+	// Dist is P(l), the distribution of shortest-path lengths (l >= 1).
+	Dist map[int]float64
+	// Diameter is the longest observed shortest-path length.
+	Diameter int
+	// Betweenness holds per-node betweenness centrality under the paper's
+	// ordered-pair definition (both (j,k) and (k,j) count).
+	Betweenness []float64
+	// Sources is the number of BFS/Brandes sources actually used.
+	Sources int
+	// Exact reports whether every node served as a source.
+	Exact bool
+}
+
+// pathPartial is one worker's accumulator.
+type pathPartial struct {
+	lenCounts []int64
+	sumLen    int64
+	maxLen    int
+	bc        []float64
+}
+
+// pathWorkspace holds per-worker Brandes state, reused across sources.
+type pathWorkspace struct {
+	dist  []int32
+	sigma []float64
+	delta []float64
+	order []int32
+	queue []int32
+}
+
+// computePaths runs Brandes' algorithm (which yields distances as a side
+// effect) from each source, in parallel, and merges the partials
+// deterministically. sources must be non-empty. scale multiplies the
+// betweenness contribution of each source (used by pivot approximation).
+func computePaths(c *csr, sources []int32, scale float64, workers int) *PathStats {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	partials := make([]*pathPartial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := &pathPartial{
+				lenCounts: make([]int64, 64),
+				bc:        make([]float64, c.n),
+			}
+			ws := &pathWorkspace{
+				dist:  make([]int32, c.n),
+				sigma: make([]float64, c.n),
+				delta: make([]float64, c.n),
+				order: make([]int32, 0, c.n),
+				queue: make([]int32, 0, c.n),
+			}
+			for i := w; i < len(sources); i += workers {
+				brandesFrom(c, sources[i], p, ws, scale)
+			}
+			partials[w] = p
+		}(w)
+	}
+	wg.Wait()
+
+	st := &PathStats{Dist: make(map[int]float64), Betweenness: make([]float64, c.n)}
+	var totalPairs, sumLen int64
+	lenCounts := make([]int64, 0)
+	for _, p := range partials {
+		if p.maxLen > st.Diameter {
+			st.Diameter = p.maxLen
+		}
+		sumLen += p.sumLen
+		for l, cnt := range p.lenCounts {
+			for len(lenCounts) <= l {
+				lenCounts = append(lenCounts, 0)
+			}
+			lenCounts[l] += cnt
+			totalPairs += cnt
+		}
+		for v := range p.bc {
+			st.Betweenness[v] += p.bc[v]
+		}
+	}
+	if totalPairs > 0 {
+		st.AvgLen = float64(sumLen) / float64(totalPairs)
+		for l, cnt := range lenCounts {
+			if cnt > 0 {
+				st.Dist[l] = float64(cnt) / float64(totalPairs)
+			}
+		}
+	}
+	st.Sources = len(sources)
+	st.Exact = len(sources) == c.n
+	return st
+}
+
+// brandesFrom runs one Brandes iteration from source s, accumulating path
+// length counts (ordered pairs s -> t) and dependency scores into p.
+func brandesFrom(c *csr, s int32, p *pathPartial, ws *pathWorkspace, scale float64) {
+	dist := ws.dist
+	sigma := ws.sigma
+	delta := ws.delta
+	for i := range dist {
+		dist[i] = -1
+		sigma[i] = 0
+		delta[i] = 0
+	}
+	order := ws.order[:0]
+	queue := ws.queue[:0]
+
+	dist[s] = 0
+	sigma[s] = 1
+	queue = append(queue, s)
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		order = append(order, u)
+		du := dist[u]
+		for e := c.offset[u]; e < c.offset[u+1]; e++ {
+			v := c.nbr[e]
+			if dist[v] < 0 {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+			if dist[v] == du+1 {
+				sigma[v] += sigma[u] * float64(c.mult[e])
+			}
+		}
+	}
+	// Path-length statistics over ordered pairs (s, t), t != s.
+	for _, t := range order {
+		if t == s {
+			continue
+		}
+		l := int(dist[t])
+		for len(p.lenCounts) <= l {
+			p.lenCounts = append(p.lenCounts, 0)
+		}
+		p.lenCounts[l]++
+		p.sumLen += int64(l)
+		if l > p.maxLen {
+			p.maxLen = l
+		}
+	}
+	// Dependency accumulation in reverse BFS order.
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		du := dist[u]
+		for e := c.offset[u]; e < c.offset[u+1]; e++ {
+			v := c.nbr[e]
+			if dist[v] == du+1 {
+				delta[u] += sigma[u] * float64(c.mult[e]) / sigma[v] * (1 + delta[v])
+			}
+		}
+		if u != s {
+			p.bc[u] += scale * delta[u]
+		}
+	}
+	ws.order = order
+	ws.queue = queue
+}

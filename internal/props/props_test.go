@@ -1,0 +1,313 @@
+package props
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"sgr/internal/gen"
+	"sgr/internal/graph"
+)
+
+func rng(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, seed^0xbeef)) }
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// Known small graphs.
+func triangle() *graph.Graph {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	return g
+}
+
+func path4() *graph.Graph {
+	// 0-1-2-3
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	return g
+}
+
+func star(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+func clique(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+func TestDegreeDist(t *testing.T) {
+	d := DegreeDist(star(5))
+	if !almostEq(d[1], 0.8, 1e-12) || !almostEq(d[4], 0.2, 1e-12) {
+		t.Fatalf("star degree dist: %v", d)
+	}
+}
+
+func TestNeighborConnectivity(t *testing.T) {
+	// Star(5): leaves (k=1) see the hub (degree 4) -> knn(1)=4;
+	// hub (k=4) sees leaves -> knn(4)=1.
+	knn := NeighborConnectivity(star(5))
+	if !almostEq(knn[1], 4, 1e-12) || !almostEq(knn[4], 1, 1e-12) {
+		t.Fatalf("star knn: %v", knn)
+	}
+	// Path4: ends see a degree-2 node: knn(1)=2. Middles see one end and
+	// one middle: (1+2)/2 = 1.5.
+	knn = NeighborConnectivity(path4())
+	if !almostEq(knn[1], 2, 1e-12) || !almostEq(knn[2], 1.5, 1e-12) {
+		t.Fatalf("path knn: %v", knn)
+	}
+}
+
+func TestClusteringKnownValues(t *testing.T) {
+	if c := GlobalClustering(triangle()); !almostEq(c, 1, 1e-12) {
+		t.Fatalf("triangle cbar = %v", c)
+	}
+	if c := GlobalClustering(star(6)); c != 0 {
+		t.Fatalf("star cbar = %v", c)
+	}
+	// Paw graph: triangle 0-1-2 plus pendant 3 attached to 2.
+	g := triangle()
+	g.AddNode()
+	g.AddEdge(2, 3)
+	// local: c0=c1=1, c2 = 2*1/(3*2)=1/3, c3=0 -> mean = (1+1+1/3)/4.
+	want := (1 + 1 + 1.0/3) / 4
+	if c := GlobalClustering(g); !almostEq(c, want, 1e-12) {
+		t.Fatalf("paw cbar = %v want %v", c, want)
+	}
+	dc := DegreeClustering(g)
+	if !almostEq(dc[2], 1, 1e-12) || !almostEq(dc[3], 1.0/3, 1e-12) || dc[1] != 0 {
+		t.Fatalf("paw c(k): %v", dc)
+	}
+}
+
+func TestEdgewiseSharedPartners(t *testing.T) {
+	// Triangle: every edge has exactly 1 shared partner.
+	esp := EdgewiseSharedPartners(triangle())
+	if !almostEq(esp[1], 1, 1e-12) {
+		t.Fatalf("triangle ESP: %v", esp)
+	}
+	// Path4: no edge shares partners.
+	esp = EdgewiseSharedPartners(path4())
+	if !almostEq(esp[0], 1, 1e-12) {
+		t.Fatalf("path ESP: %v", esp)
+	}
+	// K4: every edge has 2 shared partners.
+	esp = EdgewiseSharedPartners(clique(4))
+	if !almostEq(esp[2], 1, 1e-12) {
+		t.Fatalf("K4 ESP: %v", esp)
+	}
+}
+
+func TestPathStatsOnPath4(t *testing.T) {
+	res := Compute(path4(), Options{})
+	// Pairs: (0,1)=1 (0,2)=2 (0,3)=3 (1,2)=1 (1,3)=2 (2,3)=1.
+	// avg = (1+2+3+1+2+1)/6 = 10/6.
+	if !almostEq(res.AvgPathLen, 10.0/6, 1e-12) {
+		t.Fatalf("path4 lbar = %v", res.AvgPathLen)
+	}
+	if res.Diameter != 3 {
+		t.Fatalf("path4 diameter = %d", res.Diameter)
+	}
+	if !almostEq(res.PathLenDist[1], 0.5, 1e-12) ||
+		!almostEq(res.PathLenDist[2], 2.0/6, 1e-12) ||
+		!almostEq(res.PathLenDist[3], 1.0/6, 1e-12) {
+		t.Fatalf("path4 P(l): %v", res.PathLenDist)
+	}
+	if !res.PathsExact {
+		t.Fatal("small graph must use exact paths")
+	}
+}
+
+func TestBetweennessPath4(t *testing.T) {
+	res := Compute(path4(), Options{})
+	// Ordered-pair betweenness: node 1 lies on paths 0<->2, 0<->3 (both
+	// directions) = 4; node 2 symmetric = 4; ends = 0.
+	// bbar(1) (ends) = 0; bbar(2) = 4.
+	if !almostEq(res.DegreeBetweenness[1], 0, 1e-12) {
+		t.Fatalf("bbar(1) = %v", res.DegreeBetweenness[1])
+	}
+	if !almostEq(res.DegreeBetweenness[2], 4, 1e-12) {
+		t.Fatalf("bbar(2) = %v", res.DegreeBetweenness[2])
+	}
+}
+
+func TestBetweennessStar(t *testing.T) {
+	res := Compute(star(5), Options{})
+	// Hub lies on all leaf-leaf shortest paths: 4*3 = 12 ordered pairs.
+	if !almostEq(res.DegreeBetweenness[4], 12, 1e-12) {
+		t.Fatalf("star hub betweenness = %v", res.DegreeBetweenness[4])
+	}
+}
+
+func TestBetweennessCountsMultiplePaths(t *testing.T) {
+	// Square 0-1-2-3-0: paths 0<->2 split evenly over 1 and 3.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 0)
+	res := Compute(g, Options{})
+	// Each node carries 0.5+0.5 = 1 (ordered: 2 * 0.5) = 1... ordered pairs
+	// (0,2) and (2,0) each give 0.5 through node 1 -> 1 total.
+	if !almostEq(res.DegreeBetweenness[2], 1, 1e-12) {
+		t.Fatalf("square bbar(2) = %v", res.DegreeBetweenness[2])
+	}
+}
+
+func TestLambda1KnownValues(t *testing.T) {
+	// Clique K_n: lambda1 = n-1.
+	if l := Lambda1(clique(5)); !almostEq(l, 4, 1e-6) {
+		t.Fatalf("K5 lambda1 = %v", l)
+	}
+	// Star S_n (n leaves): lambda1 = sqrt(n).
+	if l := Lambda1(star(10)); !almostEq(l, 3, 1e-6) {
+		t.Fatalf("star-9 lambda1 = %v", l)
+	}
+	// Path with 2 nodes (single edge): lambda1 = 1 (bipartite case).
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	if l := Lambda1(g); !almostEq(l, 1, 1e-6) {
+		t.Fatalf("edge lambda1 = %v", l)
+	}
+}
+
+func TestComputeUsesLCCForPaths(t *testing.T) {
+	// Two components: triangle + isolated edge. Paths stats from LCC only.
+	g := triangle()
+	a := g.AddNode()
+	b := g.AddNode()
+	g.AddEdge(a, b)
+	res := Compute(g, Options{})
+	if res.Diameter != 1 {
+		t.Fatalf("diameter should come from triangle LCC: %d", res.Diameter)
+	}
+	if res.N != 5 {
+		t.Fatalf("N must count all nodes: %d", res.N)
+	}
+}
+
+func TestApproximatePathsCloseToExact(t *testing.T) {
+	g := gen.HolmeKim(1500, 3, 0.5, rng(1))
+	exact := Compute(g, Options{ExactThreshold: 10000})
+	approx := Compute(g, Options{ExactThreshold: 100, Pivots: 400})
+	if approx.PathsExact {
+		t.Fatal("approx run must not be exact")
+	}
+	if math.Abs(exact.AvgPathLen-approx.AvgPathLen) > 0.1*exact.AvgPathLen {
+		t.Fatalf("approx lbar %v vs exact %v", approx.AvgPathLen, exact.AvgPathLen)
+	}
+	// Pivot betweenness should estimate the scale of exact betweenness.
+	for _, k := range []int{3, 4} {
+		e, a := exact.DegreeBetweenness[k], approx.DegreeBetweenness[k]
+		if e == 0 {
+			continue
+		}
+		if math.Abs(e-a)/e > 0.5 {
+			t.Fatalf("bbar(%d): approx %v vs exact %v", k, a, e)
+		}
+	}
+}
+
+func TestComputeParallelMatchesSerial(t *testing.T) {
+	g := gen.HolmeKim(400, 3, 0.5, rng(2))
+	p1 := Compute(g, Options{Workers: 1})
+	p8 := Compute(g, Options{Workers: 8})
+	if !almostEq(p1.AvgPathLen, p8.AvgPathLen, 1e-9) {
+		t.Fatalf("parallel lbar differs: %v vs %v", p1.AvgPathLen, p8.AvgPathLen)
+	}
+	if p1.Diameter != p8.Diameter {
+		t.Fatal("parallel diameter differs")
+	}
+	for k, v := range p1.DegreeBetweenness {
+		if math.Abs(v-p8.DegreeBetweenness[k]) > 1e-6*(1+math.Abs(v)) {
+			t.Fatalf("parallel bbar(%d) differs: %v vs %v", k, v, p8.DegreeBetweenness[k])
+		}
+	}
+}
+
+func TestMultigraphPathsUseMultiplicity(t *testing.T) {
+	// Double edge 0-1 plus 1-2: sigma(0->2) = 2 paths through the double
+	// edge; distances unchanged.
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	res := Compute(g, Options{})
+	if res.Diameter != 2 {
+		t.Fatalf("multigraph diameter: %d", res.Diameter)
+	}
+	// Node 1 carries all 0<->2 paths: ordered dependency 2.
+	if !almostEq(res.DegreeBetweenness[3], 2, 1e-12) {
+		t.Fatalf("multigraph betweenness: %v", res.DegreeBetweenness)
+	}
+}
+
+func TestDissimilarityProperties(t *testing.T) {
+	a := gen.HolmeKim(300, 3, 0.5, rng(3))
+	b := gen.HolmeKim(300, 3, 0.5, rng(4))
+	er := gen.ErdosRenyiGNM(300, 897, rng(5))
+	// Identity: D(a,a) == 0.
+	if d := Dissimilarity(a, a, Options{}); !almostEq(d, 0, 1e-9) {
+		t.Fatalf("D(a,a) = %v", d)
+	}
+	// Two HK draws are closer to each other than HK is to ER.
+	dSame := Dissimilarity(a, b, Options{})
+	dDiff := Dissimilarity(a, er, Options{})
+	if dSame >= dDiff {
+		t.Fatalf("D(HK,HK)=%v should be < D(HK,ER)=%v", dSame, dDiff)
+	}
+	if dSame < 0 || dDiff > 1.5 {
+		t.Fatalf("D out of expected range: %v %v", dSame, dDiff)
+	}
+}
+
+func TestComputeOnGeneratedGraphSanity(t *testing.T) {
+	g := gen.HolmeKim(800, 4, 0.6, rng(6))
+	res := Compute(g, Options{})
+	if res.N != 800 || !almostEq(res.AvgDegree, g.AvgDegree(), 1e-12) {
+		t.Fatal("N / avg degree wrong")
+	}
+	sum := 0.0
+	for _, p := range res.DegreeDist {
+		sum += p
+	}
+	if !almostEq(sum, 1, 1e-9) {
+		t.Fatalf("degree dist sums to %v", sum)
+	}
+	sum = 0
+	for _, p := range res.PathLenDist {
+		sum += p
+	}
+	if !almostEq(sum, 1, 1e-9) {
+		t.Fatalf("path dist sums to %v", sum)
+	}
+	sum = 0
+	for _, p := range res.ESP {
+		sum += p
+	}
+	if !almostEq(sum, 1, 1e-9) {
+		t.Fatalf("ESP sums to %v", sum)
+	}
+	if res.GlobalClustering <= 0 || res.GlobalClustering > 1 {
+		t.Fatalf("cbar = %v", res.GlobalClustering)
+	}
+	if res.Lambda1 < res.AvgDegree {
+		t.Fatalf("lambda1 %v below average degree %v", res.Lambda1, res.AvgDegree)
+	}
+	if res.Diameter < 2 {
+		t.Fatalf("diameter = %d", res.Diameter)
+	}
+}

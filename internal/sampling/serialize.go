@@ -1,0 +1,97 @@
+package sampling
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// crawlJSON is the stable on-disk form of a Crawl. Real crawls are
+// expensive (each query costs API budget and time), so persisting the
+// sampling list L and re-running restoration offline is the normal
+// workflow.
+type crawlJSON struct {
+	Version   int     `json:"version"`
+	Queried   []int   `json:"queried"`
+	Neighbors [][]int `json:"neighbors"` // parallel to Queried
+	Walk      []int   `json:"walk,omitempty"`
+}
+
+const crawlFormatVersion = 1
+
+// WriteJSON serializes the crawl.
+func (c *Crawl) WriteJSON(w io.Writer) error {
+	out := crawlJSON{
+		Version:   crawlFormatVersion,
+		Queried:   c.Queried,
+		Neighbors: make([][]int, len(c.Queried)),
+		Walk:      c.Walk,
+	}
+	for i, u := range c.Queried {
+		nb, ok := c.Neighbors[u]
+		if !ok {
+			return fmt.Errorf("sampling: queried node %d missing neighbor list", u)
+		}
+		out.Neighbors[i] = nb
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadCrawlJSON deserializes a crawl written by WriteJSON, validating its
+// internal consistency (walk nodes must be queried, lists must align).
+func ReadCrawlJSON(r io.Reader) (*Crawl, error) {
+	var in crawlJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("sampling: decoding crawl: %w", err)
+	}
+	if in.Version != crawlFormatVersion {
+		return nil, fmt.Errorf("sampling: unsupported crawl format version %d", in.Version)
+	}
+	if len(in.Queried) != len(in.Neighbors) {
+		return nil, fmt.Errorf("sampling: %d queried nodes but %d neighbor lists",
+			len(in.Queried), len(in.Neighbors))
+	}
+	c := &Crawl{
+		Queried:   in.Queried,
+		Neighbors: make(map[int][]int, len(in.Queried)),
+		Walk:      in.Walk,
+	}
+	for i, u := range in.Queried {
+		if _, dup := c.Neighbors[u]; dup {
+			return nil, fmt.Errorf("sampling: node %d queried twice", u)
+		}
+		c.Neighbors[u] = in.Neighbors[i]
+	}
+	for _, u := range c.Walk {
+		if _, ok := c.Neighbors[u]; !ok {
+			return nil, fmt.Errorf("sampling: walk visits unqueried node %d", u)
+		}
+	}
+	return c, nil
+}
+
+// SaveCrawl writes the crawl to a JSON file.
+func SaveCrawl(path string, c *Crawl) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCrawl reads a crawl from a JSON file.
+func LoadCrawl(path string) (*Crawl, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCrawlJSON(f)
+}

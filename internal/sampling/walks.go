@@ -1,0 +1,96 @@
+package sampling
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// MetropolisHastingsWalk performs a Metropolis–Hastings random walk whose
+// stationary distribution is uniform over nodes: a proposed move from u to a
+// uniform neighbor v is accepted with probability min(1, d_u/d_v), otherwise
+// the walk self-loops at u. Discussed in the paper's related work as an
+// alternative to re-weighting.
+func MetropolisHastingsWalk(access Access, seed int, fraction float64, r *rand.Rand) (*Crawl, error) {
+	budget, err := budgetFromFraction(access, fraction)
+	if err != nil {
+		return nil, err
+	}
+	rec := newRecorder(access)
+	cur := seed
+	for {
+		nb := rec.query(cur)
+		rec.crawl.Walk = append(rec.crawl.Walk, cur)
+		if rec.numQueried() >= budget {
+			break
+		}
+		if len(nb) == 0 {
+			return nil, fmt.Errorf("sampling: MH walk stuck at isolated node %d", cur)
+		}
+		v := nb[r.IntN(len(nb))]
+		dv := len(rec.query(v))
+		if rec.numQueried() >= budget {
+			// Querying the proposal consumed the budget; record and stop.
+			rec.crawl.Walk = append(rec.crawl.Walk, v)
+			break
+		}
+		if dv == 0 {
+			continue
+		}
+		if du := len(nb); r.Float64() < float64(du)/float64(dv) {
+			cur = v
+		}
+	}
+	return rec.crawl, nil
+}
+
+// NonBacktrackingWalk performs the non-backtracking random walk of Lee,
+// Xu & Eun (SIGMETRICS 2012): the next node is chosen uniformly among the
+// current node's neighbors excluding the previous node, unless the current
+// node has degree one, in which case the walk backtracks.
+func NonBacktrackingWalk(access Access, seed int, fraction float64, r *rand.Rand) (*Crawl, error) {
+	budget, err := budgetFromFraction(access, fraction)
+	if err != nil {
+		return nil, err
+	}
+	rec := newRecorder(access)
+	cur, prev := seed, -1
+	for {
+		nb := rec.query(cur)
+		rec.crawl.Walk = append(rec.crawl.Walk, cur)
+		if rec.numQueried() >= budget {
+			break
+		}
+		if len(nb) == 0 {
+			return nil, fmt.Errorf("sampling: NB walk stuck at isolated node %d", cur)
+		}
+		next := -1
+		if len(nb) == 1 {
+			next = nb[0]
+		} else {
+			// Rejection-sample a neighbor different from prev. prev can
+			// appear multiple times (multi-edges), so count its multiplicity
+			// to bound the loop.
+			for {
+				cand := nb[r.IntN(len(nb))]
+				if cand != prev {
+					next = cand
+					break
+				}
+				// All neighbors equal prev (multi-edge leaf): backtrack.
+				all := true
+				for _, w := range nb {
+					if w != prev {
+						all = false
+						break
+					}
+				}
+				if all {
+					next = prev
+					break
+				}
+			}
+		}
+		prev, cur = cur, next
+	}
+	return rec.crawl, nil
+}

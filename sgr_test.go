@@ -1,0 +1,106 @@
+package sgr_test
+
+import (
+	"math/rand/v2"
+	"path/filepath"
+	"testing"
+
+	"sgr"
+	"sgr/internal/gen"
+)
+
+// TestPublicAPIWorkflow exercises the complete facade: generate, save,
+// load, preprocess, crawl, estimate, restore (both methods), score,
+// visualize, evaluate.
+func TestPublicAPIWorkflow(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	g := gen.HolmeKim(800, 3, 0.5, r)
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.edges")
+	if err := sgr.SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := sgr.LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.N() != g.N() || loaded.M() != g.M() {
+		t.Fatalf("load round trip: n=%d m=%d", loaded.N(), loaded.M())
+	}
+	clean := sgr.Preprocess(loaded)
+	if !clean.IsConnected() {
+		t.Fatal("Preprocess must return the connected LCC")
+	}
+
+	crawl, err := sgr.RandomWalk(clean, 0, 0.10, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := sgr.BuildSubgraph(crawl)
+	if sub.NumQueried != crawl.NumQueried() {
+		t.Fatal("subgraph bookkeeping mismatch")
+	}
+	est, err := sgr.Estimate(crawl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.N <= 0 || est.AvgDeg <= 0 {
+		t.Fatalf("estimates: %+v", est)
+	}
+
+	res, err := sgr.Restore(crawl, sgr.Options{RC: 5, Rand: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gj, err := sgr.RestoreGjoka(crawl, sgr.Options{RC: 5, Rand: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	origProps := sgr.ComputeProperties(clean, sgr.PropertyOptions{})
+	ds := sgr.CompareL1(sgr.ComputeProperties(res.Graph, sgr.PropertyOptions{}), origProps)
+	if len(ds) != len(sgr.PropertyNames) || len(ds) != 12 {
+		t.Fatalf("CompareL1 returned %d distances", len(ds))
+	}
+	_ = gj
+
+	svg := filepath.Join(dir, "g.svg")
+	if err := sgr.SaveVisualization(svg, res.Graph, "restored", r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicEvaluate(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	g := gen.HolmeKim(500, 3, 0.5, r)
+	ev, err := sgr.Evaluate(g, sgr.EvalConfig{
+		Fraction: 0.10,
+		Runs:     1,
+		RC:       3,
+		Seed:     5,
+		Methods:  []sgr.Method{sgr.MethodRW, sgr.MethodGjoka, sgr.MethodProposed},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []sgr.Method{sgr.MethodRW, sgr.MethodGjoka, sgr.MethodProposed} {
+		if ev.AvgL1(m) < 0 {
+			t.Fatalf("AvgL1(%s) negative", m)
+		}
+	}
+}
+
+func TestMethodConstantsMatchHarness(t *testing.T) {
+	names := []sgr.Method{
+		sgr.MethodBFS, sgr.MethodSnowball, sgr.MethodFF,
+		sgr.MethodRW, sgr.MethodGjoka, sgr.MethodProposed,
+	}
+	seen := map[sgr.Method]bool{}
+	for _, m := range names {
+		if seen[m] {
+			t.Fatalf("duplicate method constant %q", m)
+		}
+		seen[m] = true
+	}
+}
