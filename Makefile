@@ -1,0 +1,31 @@
+# Local targets mirror .github/workflows/ci.yml one for one, so `make ci`
+# reproduces exactly what the hosted pipeline runs.
+
+GO      ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build test race bench lint fuzz ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Compile-and-smoke every benchmark with a single iteration.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Short fuzz smoke of the core package's native fuzz targets.
+fuzz:
+	$(GO) test ./internal/core -run='^FuzzFenwick$$' -fuzz='^FuzzFenwick$$' -fuzztime=$(FUZZTIME)
+
+ci: lint build test race fuzz bench

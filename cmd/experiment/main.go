@@ -27,6 +27,7 @@ import (
 	"sgr/internal/graph"
 	"sgr/internal/harness"
 	"sgr/internal/layout"
+	"sgr/internal/parallel"
 	"sgr/internal/props"
 	"sgr/internal/sampling"
 )
@@ -42,6 +43,7 @@ type flags struct {
 	fracHi   float64
 	fracStep float64
 	csv      bool
+	workers  int
 }
 
 // saveCSV writes an evaluation as tidy CSV under the output directory.
@@ -79,6 +81,8 @@ func main() {
 	flag.Float64Var(&f.fracHi, "frac-hi", 0.10, "fig3: highest fraction")
 	flag.Float64Var(&f.fracStep, "frac-step", 0.02, "fig3: fraction step")
 	flag.BoolVar(&f.csv, "csv", false, "also write tidy CSVs under -out")
+	flag.IntVar(&f.workers, "workers", parallel.DefaultWorkers(),
+		"worker pool width for the evaluation engine; results are identical at any value")
 	flag.Parse()
 
 	run := func(name string, fn func(flags) error, inAll bool) {
@@ -169,6 +173,10 @@ func baseConfig(f flags) harness.Config {
 		Runs:     f.runs,
 		RC:       f.rc,
 		Seed:     f.seed,
+		Workers:  f.workers,
+		// PropOpts.Workers stays unset; the harness pins it to 1 so the
+		// property floats depend on neither -workers nor the host CPU
+		// count, and the emitted tables never change with either.
 		PropOpts: props.Options{ExactThreshold: 6000, Pivots: 800},
 	}
 }
@@ -179,11 +187,17 @@ func fig3(f flags) error {
 		if err != nil {
 			return err
 		}
+		// The sweep stays serial at the fraction level: each Evaluate
+		// already fans its (run, method) cells across the -workers pool,
+		// and nesting a second pool here would square the concurrency.
+		// The original graph's properties are shared across the sweep.
+		orig := baseConfig(f).ComputeOriginal(g)
 		series := harness.Fig3Series{}
 		methods := harness.AllMethods
 		for frac := f.fracLo; frac <= f.fracHi+1e-9; frac += f.fracStep {
 			cfg := baseConfig(f)
 			cfg.Fraction = frac
+			cfg.Original = orig
 			ev, err := harness.Evaluate(g, cfg)
 			if err != nil {
 				return err
@@ -215,6 +229,10 @@ func table2(f flags) error {
 }
 
 func evaluateSix(f flags) (map[string]*harness.Evaluation, error) {
+	// Serial at the dataset level: each Evaluate fans its (run, method)
+	// cells across the -workers pool already, and six concurrent
+	// evaluations would multiply peak memory by holding every stand-in
+	// graph's cells live at once.
 	out := make(map[string]*harness.Evaluation)
 	for _, d := range gen.TableDatasets() {
 		g, err := buildDataset(d.Name, f.scale, f.seed)

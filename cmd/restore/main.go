@@ -19,6 +19,7 @@ import (
 	"sgr/internal/gen"
 	"sgr/internal/graph"
 	"sgr/internal/metrics"
+	"sgr/internal/parallel"
 	"sgr/internal/props"
 	"sgr/internal/sampling"
 )
@@ -37,6 +38,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		out      = flag.String("out", "", "write the restored graph here")
 		compare  = flag.Bool("compare", true, "compute the 12-property L1 comparison")
+		workers  = flag.Int("workers", parallel.DefaultWorkers(),
+			"worker bound for the property-comparison loops (deterministic for a fixed value)")
 	)
 	flag.Parse()
 
@@ -112,7 +115,12 @@ func main() {
 		fmt.Printf("wrote %s\n", *out)
 	}
 	if *compare && g != nil {
-		popts := props.Options{}
+		// -workers bounds the parallel loops inside each property
+		// computation (the two graphs score sequentially — each Compute
+		// already saturates the pool). Results are deterministic for a
+		// fixed -workers value; the betweenness float merge order, and
+		// hence its last bits, can vary across different values.
+		popts := props.Options{Workers: *workers}
 		orig := props.Compute(g, popts)
 		got := props.Compute(res.Graph, popts)
 		ds := metrics.PerProperty(got, orig)

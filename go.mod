@@ -1,0 +1,3 @@
+module sgr
+
+go 1.22

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// FuzzFenwick drives the Fenwick tree behind Algorithm 2's weighted degree
+// draws through arbitrary add/rangeSum/sample sequences and checks every
+// answer against a naive array. Weights stay non-negative, as in real use
+// (entry k holds the remaining multiplicity of target degree k).
+func FuzzFenwick(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 1, 2, 3})
+	f.Add(uint64(42), []byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0})
+	f.Add(uint64(7), []byte{255, 0, 128, 64, 32, 16})
+	f.Fuzz(func(t *testing.T, seed uint64, ops []byte) {
+		const n = 13
+		fw := newFenwick(n)
+		ref := make([]int, n+1) // 1-based like the tree
+		r := rand.New(rand.NewPCG(seed, 0x5eed))
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i], ops[i+1]
+			switch op % 3 {
+			case 0: // add
+				idx := int(arg)%n + 1
+				delta := int(op/3)%5 - 2
+				if ref[idx]+delta < 0 {
+					delta = -ref[idx]
+				}
+				fw.add(idx, delta)
+				ref[idx] += delta
+			case 1: // rangeSum
+				lo := int(arg)%n + 1
+				hi := lo + int(op/3)%(n-lo+1)
+				want := 0
+				for j := lo; j <= hi; j++ {
+					want += ref[j]
+				}
+				if got := fw.rangeSum(lo, hi); got != want {
+					t.Fatalf("rangeSum(%d, %d) = %d, want %d (ref %v)", lo, hi, got, want, ref)
+				}
+			case 2: // sample
+				lo := int(arg)%n + 1
+				hi := lo + int(op/3)%(n-lo+1)
+				want := 0
+				for j := lo; j <= hi; j++ {
+					want += ref[j]
+				}
+				got := fw.sample(lo, hi, r)
+				if want == 0 {
+					if got != -1 {
+						t.Fatalf("sample(%d, %d) = %d on empty range (ref %v)", lo, hi, got, ref)
+					}
+					continue
+				}
+				if got < lo || got > hi {
+					t.Fatalf("sample(%d, %d) = %d outside range (ref %v)", lo, hi, got, ref)
+				}
+				if ref[got] == 0 {
+					t.Fatalf("sample(%d, %d) = %d has zero weight (ref %v)", lo, hi, got, ref)
+				}
+			}
+		}
+		// Invariant: prefix(n) equals the total reference weight.
+		total := 0
+		for j := 1; j <= n; j++ {
+			total += ref[j]
+		}
+		if got := fw.prefix(n); got != total {
+			t.Fatalf("prefix(%d) = %d, want %d", n, got, total)
+		}
+	})
+}

@@ -1,5 +1,7 @@
 package graph
 
+import "sgr/internal/parallel"
+
 // JointDegreeMatrix returns m(k,k') as a map keyed by canonical degree pairs
 // (k <= k'): the number of edges between nodes with degree k and degree k'.
 // Multi-edges count with multiplicity; a self-loop at a degree-k node counts
@@ -35,47 +37,59 @@ func (g *Graph) JointDegreeMatrix() map[[2]int]int {
 // TriangleCounts returns t[i], the number of triangles node i belongs to,
 // using the paper's multiplicity-aware definition
 // t_i = sum_{j<l, j!=i, l!=i} A_ij * A_il * A_jl. Self-loops never form
-// triangles under this definition.
-func (g *Graph) TriangleCounts() []int64 {
+// triangles under this definition. It parallelizes over all CPUs; use
+// TriangleCountsWorkers to bound the pool.
+func (g *Graph) TriangleCounts() []int64 { return g.TriangleCountsWorkers(0) }
+
+// TriangleCountsWorkers is TriangleCounts on at most workers goroutines
+// (<= 0 selects all CPUs). Both passes parallelize over nodes with
+// index-disjoint writes, so the counts are identical at any worker count.
+func (g *Graph) TriangleCountsWorkers(workers int) []int64 {
 	n := g.N()
 	t := make([]int64, n)
 	// Distinct-neighbor multiplicity maps, built once.
 	mult := make([]map[int]int, n)
-	for u, a := range g.adj {
-		mu := make(map[int]int, len(a))
-		for _, v := range a {
-			if v != u {
-				mu[v]++
+	parallel.Blocks(workers, n, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			a := g.adj[u]
+			mu := make(map[int]int, len(a))
+			for _, v := range a {
+				if v != u {
+					mu[v]++
+				}
 			}
+			mult[u] = mu
 		}
-		mult[u] = mu
-	}
+	})
 	// For each node u, iterate over unordered distinct neighbor pairs (j,l)
 	// and look up A_jl in the smaller of the two maps.
-	for u := 0; u < n; u++ {
-		mu := mult[u]
-		if len(mu) < 2 {
-			continue
-		}
-		nbrs := make([]int, 0, len(mu))
-		for v := range mu {
-			nbrs = append(nbrs, v)
-		}
-		for i := 0; i < len(nbrs); i++ {
-			j := nbrs[i]
-			aj := mu[j]
-			for k := i + 1; k < len(nbrs); k++ {
-				l := nbrs[k]
-				jj, ll := j, l
-				if len(mult[jj]) > len(mult[ll]) {
-					jj, ll = ll, jj
-				}
-				if ajl := mult[jj][ll]; ajl > 0 {
-					t[u] += int64(aj) * int64(mu[l]) * int64(ajl)
+	parallel.Blocks(workers, n, func(lo, hi int) {
+		var nbrs []int
+		for u := lo; u < hi; u++ {
+			mu := mult[u]
+			if len(mu) < 2 {
+				continue
+			}
+			nbrs = nbrs[:0]
+			for v := range mu {
+				nbrs = append(nbrs, v)
+			}
+			for i := 0; i < len(nbrs); i++ {
+				j := nbrs[i]
+				aj := mu[j]
+				for k := i + 1; k < len(nbrs); k++ {
+					l := nbrs[k]
+					jj, ll := j, l
+					if len(mult[jj]) > len(mult[ll]) {
+						jj, ll = ll, jj
+					}
+					if ajl := mult[jj][ll]; ajl > 0 {
+						t[u] += int64(aj) * int64(mu[l]) * int64(ajl)
+					}
 				}
 			}
 		}
-	}
+	})
 	return t
 }
 

@@ -10,11 +10,14 @@ package harness
 import (
 	"fmt"
 	"math/rand/v2"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"sgr/internal/core"
 	"sgr/internal/graph"
 	"sgr/internal/metrics"
+	"sgr/internal/parallel"
 	"sgr/internal/props"
 	"sgr/internal/sampling"
 )
@@ -77,6 +80,23 @@ type Config struct {
 	FrontierDim int
 	// PropOpts tunes property computation (pivot thresholds etc.).
 	PropOpts props.Options
+	// Workers bounds how many evaluation cells — independent
+	// (run, method) jobs — execute concurrently (<= 0 selects
+	// parallel.DefaultWorkers). Every cell derives its own PCG stream
+	// from Seed, so the results are byte-identical at any worker count.
+	Workers int
+	// Original, when non-nil, is the precomputed property result of the
+	// original graph (from ComputeOriginal), letting sweeps that evaluate
+	// one graph under many configurations skip recomputing it per call.
+	Original *props.Result
+}
+
+// ComputeOriginal evaluates the original graph's 12 properties under this
+// configuration's (defaulted) property options — exactly what Evaluate
+// computes when Config.Original is nil.
+func (c Config) ComputeOriginal(g *graph.Graph) *props.Result {
+	c = c.withDefaults()
+	return props.Compute(g, c.PropOpts)
 }
 
 // Walker selects the crawl variant used for the shared random walk.
@@ -105,6 +125,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Methods == nil {
 		c.Methods = AllMethods
+	}
+	// Property computation inside a cell defaults to serial: the engine's
+	// parallelism unit is the cell, and nesting GOMAXPROCS-wide property
+	// pools under Workers concurrent cells would square the goroutine
+	// count and Brandes scratch. A fixed value also keeps the betweenness
+	// float merges — deterministic only for a fixed worker count —
+	// independent of both Workers and the host CPU count.
+	if c.PropOpts.Workers <= 0 {
+		c.PropOpts.Workers = 1
 	}
 	return c
 }
@@ -166,62 +195,145 @@ type Evaluation struct {
 	Config   Config
 }
 
+// runStream is the golden-ratio increment deriving the per-run PCG stream
+// from the master seed (stream run*runStream+1 for run 0, 1, 2, ...).
+const runStream = 0x9e3779b97f4a7c15
+
+// cellStream is a second odd mixing constant separating the per-cell
+// streams of the methods within one run from each other and from the run's
+// walk stream.
+const cellStream = 0xbf58476d1ce4e5b9
+
+// runRand returns the RNG of run: it picks the run's seed node and drives
+// the shared random walk.
+func (c Config) runRand(run int) *rand.Rand {
+	return rand.New(rand.NewPCG(c.Seed, uint64(run)*runStream+1))
+}
+
+// cellRand returns the RNG of one (run, method) evaluation cell. The
+// stream is keyed by the method's position in AllMethods, not in
+// cfg.Methods, so evaluating a subset replays exactly the streams the full
+// evaluation would use.
+func (c Config) cellRand(run int, m Method) *rand.Rand {
+	mi := uint64(0)
+	for i, am := range AllMethods {
+		if am == m {
+			mi = uint64(i)
+			break
+		}
+	}
+	return rand.New(rand.NewPCG(c.Seed, uint64(run)*runStream+1+(mi+1)*cellStream))
+}
+
+// runSetup is the per-run state shared by the run's cells. The walk is
+// computed lazily by the first cell that needs it (sync.Once publishes it
+// race-free) and released once the run's last cell finishes, so only the
+// active runs' crawls occupy memory during a long sweep.
+type runSetup struct {
+	seed    int
+	once    sync.Once
+	walk    *sampling.Crawl
+	walkErr error
+	pending atomic.Int32
+}
+
+// sharedWalk returns the run's walk, crawling it on first use. The RNG
+// replays the run stream past the seed-node draw, so the walk is identical
+// no matter which cell triggers it.
+func (s *runSetup) sharedWalk(g *graph.Graph, cfg Config, run int) (*sampling.Crawl, error) {
+	s.once.Do(func() {
+		r := cfg.runRand(run)
+		r.IntN(g.N()) // replay the seed-node draw
+		s.walk, s.walkErr = crawlWalk(g, cfg, s.seed, r)
+	})
+	return s.walk, s.walkErr
+}
+
+// cellResult is the outcome of one (run, method) cell.
+type cellResult struct {
+	dists  [12]float64
+	total  time.Duration
+	rewire time.Duration
+}
+
 // Evaluate runs the full protocol on the original graph g.
+//
+// Every (run, method) cell is an independent job on a bounded worker pool
+// (Config.Workers wide) with its own PCG stream, and results are merged in
+// (run, method) order — so for a fixed Seed the evaluation is
+// deterministic and identical at any worker count. Cells only read the
+// shared original graph and the run's shared crawl, which keeps the
+// engine race-free.
 func Evaluate(g *graph.Graph, cfg Config) (*Evaluation, error) {
 	cfg = cfg.withDefaults()
-	orig := props.Compute(g, cfg.PropOpts)
+	orig := cfg.Original
+	if orig == nil {
+		orig = props.Compute(g, cfg.PropOpts)
+	}
 	ev := &Evaluation{Original: orig, Stats: make(map[Method]*MethodStats), Config: cfg}
 	for _, m := range cfg.Methods {
 		ev.Stats[m] = &MethodStats{Method: m}
 	}
+
+	// Per-run seed nodes are drawn up front (cheap); the walks follow
+	// lazily inside the cells.
+	nm := len(cfg.Methods)
+	setups := make([]*runSetup, cfg.Runs)
+	for run := range setups {
+		setups[run] = &runSetup{seed: cfg.runRand(run).IntN(g.N())}
+		setups[run].pending.Store(int32(nm))
+	}
+
+	// The (run, method) cells, each on its own stream.
+	cells, err := parallel.Map(cfg.Workers, cfg.Runs*nm, func(i int) (cellResult, error) {
+		run, m := i/nm, cfg.Methods[i%nm]
+		s := setups[run]
+		defer func() {
+			// Last cell of the run out turns off the lights: drop the
+			// shared walk so long sweeps don't hold every run's crawl.
+			if s.pending.Add(-1) == 0 {
+				s.walk = nil
+			}
+		}()
+		var walk *sampling.Crawl
+		if m == MethodRW || m == MethodGjoka || m == MethodProposed {
+			w, err := s.sharedWalk(g, cfg, run)
+			if err != nil {
+				return cellResult{}, fmt.Errorf("harness: run %d: %w", run, err)
+			}
+			walk = w
+		}
+		gg, total, rewire, err := generate(g, cfg, m, s.seed, walk, cfg.cellRand(run, m))
+		if err != nil {
+			return cellResult{}, fmt.Errorf("harness: run %d: %s: %w", run, m, err)
+		}
+		genProps := props.Compute(gg, cfg.PropOpts)
+		var cr cellResult
+		copy(cr.dists[:], metrics.PerProperty(genProps, orig))
+		cr.total, cr.rewire = total, rewire
+		return cr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Ordered merge, replicating the sequential loop's append order.
 	for run := 0; run < cfg.Runs; run++ {
-		if err := ev.runOnce(g, uint64(run)); err != nil {
-			return nil, fmt.Errorf("harness: run %d: %w", run, err)
+		for mi, m := range cfg.Methods {
+			cr := cells[run*nm+mi]
+			st := ev.Stats[m]
+			for i, d := range cr.dists {
+				st.PerProperty[i] = append(st.PerProperty[i], d)
+			}
+			st.TotalTimes = append(st.TotalTimes, cr.total)
+			st.RewireTimes = append(st.RewireTimes, cr.rewire)
 		}
 	}
 	return ev, nil
 }
 
-func (ev *Evaluation) runOnce(g *graph.Graph, run uint64) error {
-	cfg := ev.Config
-	r := rand.New(rand.NewPCG(cfg.Seed, run*0x9e3779b97f4a7c15+1))
-	seed := r.IntN(g.N())
-
-	wants := make(map[Method]bool, len(cfg.Methods))
-	for _, m := range cfg.Methods {
-		wants[m] = true
-	}
-
-	// Shared random walk for RW / Gjoka / Proposed.
-	var walk *sampling.Crawl
-	if wants[MethodRW] || wants[MethodGjoka] || wants[MethodProposed] {
-		c, err := ev.crawlWalk(g, seed, r)
-		if err != nil {
-			return err
-		}
-		walk = c
-	}
-
-	for _, m := range cfg.Methods {
-		gen, total, rewire, err := ev.generate(g, m, seed, walk, r)
-		if err != nil {
-			return fmt.Errorf("%s: %w", m, err)
-		}
-		genProps := props.Compute(gen, cfg.PropOpts)
-		ds := metrics.PerProperty(genProps, ev.Original)
-		st := ev.Stats[m]
-		for i, d := range ds {
-			st.PerProperty[i] = append(st.PerProperty[i], d)
-		}
-		st.TotalTimes = append(st.TotalTimes, total)
-		st.RewireTimes = append(st.RewireTimes, rewire)
-	}
-	return nil
-}
-
 // crawlWalk performs the configured walk variant.
-func (ev *Evaluation) crawlWalk(g *graph.Graph, seed int, r *rand.Rand) (*sampling.Crawl, error) {
-	cfg := ev.Config
+func crawlWalk(g *graph.Graph, cfg Config, seed int, r *rand.Rand) (*sampling.Crawl, error) {
 	access := sampling.NewGraphAccess(g)
 	switch cfg.Walker {
 	case WalkerSimple:
@@ -245,9 +357,9 @@ func (ev *Evaluation) crawlWalk(g *graph.Graph, seed int, r *rand.Rand) (*sampli
 	return nil, fmt.Errorf("harness: unknown walker %q", cfg.Walker)
 }
 
-// generate produces the generated graph for one method in one run.
-func (ev *Evaluation) generate(g *graph.Graph, m Method, seed int, walk *sampling.Crawl, r *rand.Rand) (*graph.Graph, time.Duration, time.Duration, error) {
-	cfg := ev.Config
+// generate produces the generated graph for one method in one run. It only
+// reads g and walk, so concurrent cells may share both.
+func generate(g *graph.Graph, cfg Config, m Method, seed int, walk *sampling.Crawl, r *rand.Rand) (*graph.Graph, time.Duration, time.Duration, error) {
 	subgraphOf := func(c *sampling.Crawl) (*graph.Graph, time.Duration) {
 		start := time.Now()
 		sub := sampling.BuildSubgraph(c)

@@ -15,6 +15,7 @@ package props
 
 import (
 	"sgr/internal/graph"
+	"sgr/internal/parallel"
 )
 
 // DegreeDist returns P(k), the fraction of nodes with each degree.
@@ -35,19 +36,37 @@ func DegreeDist(g *graph.Graph) map[int]float64 {
 // Multi-edges weight neighbors by multiplicity; a self-loop contributes the
 // node's own degree twice, per the adjacency-matrix convention.
 func NeighborConnectivity(g *graph.Graph) map[int]float64 {
+	return neighborConnectivity(g, 0)
+}
+
+func neighborConnectivity(g *graph.Graph, workers int) map[int]float64 {
+	n := g.N()
+	// Per-node mean neighbor degree, computed in parallel into disjoint
+	// slots; the degree-keyed reduction below runs serially in ascending
+	// node order, matching the accumulation order of a serial loop — so
+	// the result is bit-identical at any worker count.
+	avg := make([]float64, n)
+	parallel.Blocks(workers, n, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			k := g.Degree(u)
+			if k == 0 {
+				continue
+			}
+			s := 0.0
+			for _, v := range g.Neighbors(u) {
+				s += float64(g.Degree(v))
+			}
+			avg[u] = s / float64(k)
+		}
+	})
 	sum := make(map[int]float64)
 	cnt := make(map[int]int)
-	for u := 0; u < g.N(); u++ {
+	for u := 0; u < n; u++ {
 		k := g.Degree(u)
 		cnt[k]++
-		if k == 0 {
-			continue
+		if k > 0 {
+			sum[k] += avg[u]
 		}
-		s := 0.0
-		for _, v := range g.Neighbors(u) {
-			s += float64(g.Degree(v))
-		}
-		sum[k] += s / float64(k)
 	}
 	out := make(map[int]float64, len(cnt))
 	for k, c := range cnt {
@@ -59,7 +78,11 @@ func NeighborConnectivity(g *graph.Graph) map[int]float64 {
 // LocalClustering returns the per-node local clustering coefficients
 // 2 t_i / (d_i (d_i - 1)), zero for degree < 2.
 func LocalClustering(g *graph.Graph) []float64 {
-	t := g.TriangleCounts()
+	return localClustering(g, 0)
+}
+
+func localClustering(g *graph.Graph, workers int) []float64 {
+	t := g.TriangleCountsWorkers(workers)
 	out := make([]float64, g.N())
 	for u := 0; u < g.N(); u++ {
 		d := g.Degree(u)
@@ -73,11 +96,16 @@ func LocalClustering(g *graph.Graph) []float64 {
 // GlobalClustering returns the network clustering coefficient cbar: the
 // mean local clustering coefficient over all nodes (Sec. V-B, property 5).
 func GlobalClustering(g *graph.Graph) float64 {
+	return globalClusteringOf(g, LocalClustering(g))
+}
+
+// globalClusteringOf derives cbar from precomputed local coefficients.
+func globalClusteringOf(g *graph.Graph, local []float64) float64 {
 	if g.N() == 0 {
 		return 0
 	}
 	s := 0.0
-	for _, c := range LocalClustering(g) {
+	for _, c := range local {
 		s += c
 	}
 	return s / float64(g.N())
@@ -86,7 +114,11 @@ func GlobalClustering(g *graph.Graph) float64 {
 // DegreeClustering returns cbar(k): the mean local clustering coefficient
 // over nodes of each degree, with cbar(k) = 0 for k < 2.
 func DegreeClustering(g *graph.Graph) map[int]float64 {
-	local := LocalClustering(g)
+	return degreeClusteringOf(g, LocalClustering(g))
+}
+
+// degreeClusteringOf derives cbar(k) from precomputed local coefficients.
+func degreeClusteringOf(g *graph.Graph, local []float64) map[int]float64 {
 	sum := make(map[int]float64)
 	cnt := make(map[int]int)
 	for u := 0; u < g.N(); u++ {
@@ -105,34 +137,63 @@ func DegreeClustering(g *graph.Graph) map[int]float64 {
 // of (non-loop) edge instances whose endpoints share exactly s neighbors,
 // sp(i,j) = sum_{k != i,j} A_ik A_jk.
 func EdgewiseSharedPartners(g *graph.Graph) map[int]float64 {
-	mult := make([]map[int]int, g.N())
-	for u := 0; u < g.N(); u++ {
-		mult[u] = g.NeighborMultiplicities(u)
+	return edgewiseSharedPartners(g, 0)
+}
+
+func edgewiseSharedPartners(g *graph.Graph, workers int) map[int]float64 {
+	n := g.N()
+	mult := make([]map[int]int, n)
+	parallel.Blocks(workers, n, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			mult[u] = g.NeighborMultiplicities(u)
+		}
+	})
+	// The shared-partner histogram is integer-valued, so per-block partial
+	// counts merge commutatively — identical at any worker count.
+	type partial struct {
+		counts map[int]int
+		total  int
 	}
-	counts := make(map[int]int)
-	total := 0
-	for u := 0; u < g.N(); u++ {
-		for v, a := range mult[u] {
-			if v < u {
-				continue
-			}
-			mu, mv := mult[u], mult[v]
-			if len(mu) > len(mv) {
-				mu, mv = mv, mu
-			}
-			sp := 0
-			for w, cu := range mu {
-				if w == u || w == v {
+	const blockNodes = 256
+	blocks := (n + blockNodes - 1) / blockNodes
+	parts, _ := parallel.Map(workers, blocks, func(b int) (partial, error) {
+		p := partial{counts: make(map[int]int)}
+		lo, hi := b*blockNodes, (b+1)*blockNodes
+		if hi > n {
+			hi = n
+		}
+		for u := lo; u < hi; u++ {
+			for v, a := range mult[u] {
+				if v < u {
 					continue
 				}
-				if cv := mv[w]; cv > 0 {
-					sp += cu * cv
+				mu, mv := mult[u], mult[v]
+				if len(mu) > len(mv) {
+					mu, mv = mv, mu
 				}
+				sp := 0
+				for w, cu := range mu {
+					if w == u || w == v {
+						continue
+					}
+					if cv := mv[w]; cv > 0 {
+						sp += cu * cv
+					}
+				}
+				// One entry per parallel edge instance.
+				p.counts[sp] += a
+				p.total += a
 			}
-			// One entry per parallel edge instance.
-			counts[sp] += a
-			total += a
 		}
+		return p, nil
+	})
+	counts := make(map[int]int)
+	total := 0
+	for _, p := range parts {
+		for s, c := range p.counts {
+			counts[s] += c
+		}
+		total += p.total
 	}
 	out := make(map[int]float64, len(counts))
 	if total == 0 {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"sgr/internal/graph"
+	"sgr/internal/parallel"
 )
 
 // Dissimilarity computes the D-measure of Schieber et al. (Nature
@@ -41,40 +42,48 @@ func distanceProfile(g *graph.Graph, opts Options) ([]float64, float64) {
 	c := newCSR(lcc)
 	sources := pickSources(n, opts)
 
-	// Per-node distance distributions p_i(l) for l = 1..diam.
+	// Per-node distance distributions p_i(l) for l = 1..diam. Sources are
+	// independent BFS roots, so the rows fill in parallel (index-disjoint
+	// writes, per-block scratch); the reductions below stay serial in
+	// source order, keeping the profile identical at any worker count.
 	rows := make([][]float64, len(sources))
-	diam := 1
-	dist := make([]int32, n)
-	queue := make([]int32, 0, n)
-	for si, s := range sources {
-		for i := range dist {
-			dist[i] = -1
-		}
-		queue = queue[:0]
-		dist[s] = 0
-		queue = append(queue, s)
-		counts := []float64{}
-		for qi := 0; qi < len(queue); qi++ {
-			u := queue[qi]
-			for e := c.offset[u]; e < c.offset[u+1]; e++ {
-				v := c.nbr[e]
-				if dist[v] < 0 {
-					dist[v] = dist[u] + 1
-					queue = append(queue, v)
-					l := int(dist[v])
-					for len(counts) < l {
-						counts = append(counts, 0)
+	parallel.Blocks(opts.Workers, len(sources), func(lo, hi int) {
+		dist := make([]int32, n)
+		queue := make([]int32, 0, n)
+		for si := lo; si < hi; si++ {
+			s := sources[si]
+			for i := range dist {
+				dist[i] = -1
+			}
+			queue = queue[:0]
+			dist[s] = 0
+			queue = append(queue, s)
+			counts := []float64{}
+			for qi := 0; qi < len(queue); qi++ {
+				u := queue[qi]
+				for e := c.offset[u]; e < c.offset[u+1]; e++ {
+					v := c.nbr[e]
+					if dist[v] < 0 {
+						dist[v] = dist[u] + 1
+						queue = append(queue, v)
+						l := int(dist[v])
+						for len(counts) < l {
+							counts = append(counts, 0)
+						}
+						counts[l-1]++
 					}
-					counts[l-1]++
 				}
 			}
+			for i := range counts {
+				counts[i] /= float64(n - 1)
+			}
+			rows[si] = counts
 		}
-		for i := range counts {
-			counts[i] /= float64(n - 1)
-		}
-		rows[si] = counts
-		if len(counts) > diam {
-			diam = len(counts)
+	})
+	diam := 1
+	for _, row := range rows {
+		if len(row) > diam {
+			diam = len(row)
 		}
 	}
 	// Mean distribution mu(l).

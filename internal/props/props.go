@@ -55,17 +55,22 @@ type Result struct {
 	PathsExact           bool            // whether 8-11 used all sources
 }
 
-// Compute evaluates all 12 properties of g.
+// Compute evaluates all 12 properties of g. Options.Workers bounds every
+// parallel loop; the results are identical at any worker count except the
+// betweenness floats of computePaths, which merge per-worker partials and
+// are deterministic only for a fixed Workers value.
 func Compute(g *graph.Graph, opts Options) *Result {
 	opts = opts.withDefaults()
+	// One triangle pass feeds both clustering properties.
+	local := localClustering(g, opts.Workers)
 	res := &Result{
 		N:                    g.N(),
 		AvgDegree:            g.AvgDegree(),
 		DegreeDist:           DegreeDist(g),
-		NeighborConnectivity: NeighborConnectivity(g),
-		GlobalClustering:     GlobalClustering(g),
-		DegreeClustering:     DegreeClustering(g),
-		ESP:                  EdgewiseSharedPartners(g),
+		NeighborConnectivity: neighborConnectivity(g, opts.Workers),
+		GlobalClustering:     globalClusteringOf(g, local),
+		DegreeClustering:     degreeClusteringOf(g, local),
+		ESP:                  edgewiseSharedPartners(g, opts.Workers),
 		Lambda1:              Lambda1(g),
 	}
 
