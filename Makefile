@@ -3,8 +3,10 @@
 
 GO      ?= go
 FUZZTIME ?= 10s
+# Iterations per benchmark when recording the BENCH_rewire.json baseline.
+BENCHTIME ?= 5x
 
-.PHONY: build test race bench lint fuzz ci
+.PHONY: build test race bench bench-json lint fuzz ci
 
 build:
 	$(GO) build ./...
@@ -18,6 +20,22 @@ race:
 # Compile-and-smoke every benchmark with a single iteration.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Record the rewiring-engine perf baseline: BenchmarkRewire (flat adjset
+# engine vs frozen map reference) and BenchmarkRestoreEndToEnd, with
+# allocation stats, as committed JSON. CI uploads the same file as an
+# artifact so the perf trajectory is tracked per commit.
+# The bench output goes through a temp file, not a pipe: a benchmark
+# failure or panic must fail the target instead of letting benchjson
+# record the surviving lines as a green partial baseline.
+bench-json:
+	@tmp=$$(mktemp); \
+	$(GO) test -run='^$$' -bench='^(BenchmarkRewire|BenchmarkRestoreEndToEnd)$$' \
+		-benchmem -benchtime=$(BENCHTIME) ./internal/dkseries ./internal/core \
+		> $$tmp || { cat $$tmp; rm -f $$tmp; exit 1; }; \
+	$(GO) run ./cmd/benchjson < $$tmp > BENCH_rewire.json; \
+	rm -f $$tmp; \
+	cat BENCH_rewire.json
 
 lint:
 	$(GO) vet ./...

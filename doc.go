@@ -37,4 +37,13 @@
 // betweenness float merges are deterministic for a fixed value. See
 // README.md for the exact stream derivation and the CI gates that enforce
 // this.
+//
+// Adjacency hot paths run on internal/adjset, a flat open-addressing
+// multiset (int32 key/count slots, linear probing, backward-shift
+// deletion) that replaces map-based rows in phase-4 rewiring, the walk
+// estimators, and graph.Index() — the built-once O(1) Multiplicity /
+// HasEdge index that any Graph mutation invalidates. The rewiring engine
+// is differentially tested byte-for-byte against the original map-based
+// implementation, and `make bench-json` records its perf baseline in
+// BENCH_rewire.json (see README.md, "The adjset engine").
 package sgr

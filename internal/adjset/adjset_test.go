@@ -1,0 +1,187 @@
+package adjset
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestBasicIncGetDec(t *testing.T) {
+	s := New(3)
+	if s.NumNodes() != 3 {
+		t.Fatalf("NumNodes: %d want 3", s.NumNodes())
+	}
+	if got := s.Get(0, 1); got != 0 {
+		t.Fatalf("Get on empty row: %d want 0", got)
+	}
+	if got := s.Inc(0, 1); got != 1 {
+		t.Fatalf("first Inc: %d want 1", got)
+	}
+	if got := s.Inc(0, 1); got != 2 {
+		t.Fatalf("second Inc: %d want 2", got)
+	}
+	if got := s.Get(0, 1); got != 2 {
+		t.Fatalf("Get: %d want 2", got)
+	}
+	if got := s.Len(0); got != 1 {
+		t.Fatalf("Len: %d want 1", got)
+	}
+	if got := s.Dec(0, 1); got != 1 {
+		t.Fatalf("Dec: %d want 1", got)
+	}
+	if got := s.Dec(0, 1); got != 0 {
+		t.Fatalf("Dec to zero: %d want 0", got)
+	}
+	if got, l := s.Get(0, 1), s.Len(0); got != 0 || l != 0 {
+		t.Fatalf("after delete: Get=%d Len=%d want 0,0", got, l)
+	}
+}
+
+func TestDecAbsentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dec of absent pair must panic")
+		}
+	}()
+	s := New(1)
+	s.Inc(0, 2)
+	s.Dec(0, 3)
+}
+
+// TestDifferentialVsMap drives a Set and a reference map with the same
+// random Inc/Dec stream and checks full agreement, exercising growth and
+// backward-shift deletion across many collision patterns.
+func TestDifferentialVsMap(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 7))
+	const n = 5
+	const keyspace = 200
+	s := New(n)
+	ref := make([]map[int32]int32, n)
+	for i := range ref {
+		ref[i] = make(map[int32]int32)
+	}
+	for step := 0; step < 200000; step++ {
+		u := r.IntN(n)
+		v := int32(r.IntN(keyspace))
+		if r.IntN(3) == 0 && ref[u][v] > 0 {
+			ref[u][v]--
+			got := s.Dec(u, int(v))
+			if got != int(ref[u][v]) {
+				t.Fatalf("step %d: Dec(%d,%d)=%d want %d", step, u, v, got, ref[u][v])
+			}
+			if ref[u][v] == 0 {
+				delete(ref[u], v)
+			}
+		} else {
+			ref[u][v]++
+			if got := s.Inc(u, int(v)); got != int(ref[u][v]) {
+				t.Fatalf("step %d: Inc(%d,%d)=%d want %d", step, u, v, got, ref[u][v])
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		if s.Len(u) != len(ref[u]) {
+			t.Fatalf("node %d: Len=%d want %d", u, s.Len(u), len(ref[u]))
+		}
+		for v := int32(0); v < keyspace; v++ {
+			if got := s.Get(u, int(v)); got != int(ref[u][v]) {
+				t.Fatalf("node %d: Get(%d)=%d want %d", u, v, got, ref[u][v])
+			}
+		}
+		// Iterate must visit each pair exactly once with the right count.
+		seen := make(map[int32]int32)
+		s.Iterate(u, func(v, c int32) bool {
+			if _, dup := seen[v]; dup {
+				t.Fatalf("node %d: Iterate visited %d twice", u, v)
+			}
+			seen[v] = c
+			return true
+		})
+		if len(seen) != len(ref[u]) {
+			t.Fatalf("node %d: Iterate saw %d pairs want %d", u, len(seen), len(ref[u]))
+		}
+		for v, c := range ref[u] {
+			if seen[v] != c {
+				t.Fatalf("node %d: Iterate count for %d: %d want %d", u, v, seen[v], c)
+			}
+		}
+	}
+}
+
+func TestIterateEarlyStop(t *testing.T) {
+	s := New(1)
+	for v := 0; v < 10; v++ {
+		s.Inc(0, v)
+	}
+	calls := 0
+	s.Iterate(0, func(v, c int32) bool {
+		calls++
+		return calls < 3
+	})
+	if calls != 3 {
+		t.Fatalf("early stop after %d calls want 3", calls)
+	}
+}
+
+func TestRowSlotsMatchIterate(t *testing.T) {
+	s := New(1)
+	for v := 0; v < 50; v += 3 {
+		s.Inc(0, v)
+		s.Inc(0, v)
+	}
+	keys, counts := s.Row(0)
+	occupied := 0
+	for i, k := range keys {
+		if k == Empty {
+			continue
+		}
+		occupied++
+		if got := s.Get(0, int(k)); got != int(counts[i]) {
+			t.Fatalf("slot %d: count %d disagrees with Get %d", i, counts[i], got)
+		}
+	}
+	if occupied != s.Len(0) {
+		t.Fatalf("Row occupancy %d != Len %d", occupied, s.Len(0))
+	}
+}
+
+// TestDeleteKeepsProbeChainsReachable hammers one row with collisions and
+// interleaved deletions, then verifies every surviving key is reachable.
+func TestDeleteKeepsProbeChainsReachable(t *testing.T) {
+	s := New(1)
+	live := make(map[int]bool)
+	r := rand.New(rand.NewPCG(3, 9))
+	for step := 0; step < 50000; step++ {
+		v := r.IntN(64)
+		if live[v] {
+			s.Dec(0, v)
+			delete(live, v)
+		} else {
+			s.Inc(0, v)
+			live[v] = true
+		}
+		if step%977 == 0 {
+			for w := range live {
+				if s.Get(0, w) != 1 {
+					t.Fatalf("step %d: live key %d unreachable", step, w)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkIncGetDec(b *testing.B) {
+	s := New(1)
+	r := rand.New(rand.NewPCG(1, 1))
+	keys := make([]int, 256)
+	for i := range keys {
+		keys[i] = r.IntN(1 << 20)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		s.Inc(0, k)
+		s.Get(0, k)
+		s.Dec(0, k)
+	}
+}

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+
+	"sgr/internal/gen"
+	"sgr/internal/sampling"
+)
+
+// BenchmarkRestoreEndToEnd measures the whole proposed pipeline —
+// estimation, target construction, half-edge wiring and rewiring — on one
+// crawl, so adjacency-engine changes show up as end-to-end wall time and
+// allocation deltas. Recorded alongside BenchmarkRewire by `make bench-json`.
+func BenchmarkRestoreEndToEnd(b *testing.B) {
+	g := gen.HolmeKim(3000, 4, 0.5, rng(1))
+	c, err := sampling.RandomWalk(sampling.NewGraphAccess(g), 0, 0.10, rng(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Restore(c, Options{RC: 25, Rand: rng(uint64(i))})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}

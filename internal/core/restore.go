@@ -90,8 +90,12 @@ func (res *Result) Validate() error {
 		return fmt.Errorf("core: edge total %d != target %d", gj.TotalEdges(), res.TargetJDM.TotalEdges())
 	}
 	if res.Subgraph != nil {
+		// O(1) multiplicity probes via the flat indices instead of
+		// per-query neighbor-list scans.
+		ix := res.Graph.Index()
+		subIx := res.Subgraph.Graph.Index()
 		for _, e := range res.Subgraph.Graph.Edges() {
-			if res.Graph.Multiplicity(e.U, e.V) < res.Subgraph.Graph.Multiplicity(e.U, e.V) {
+			if ix.Multiplicity(e.U, e.V) < subIx.Multiplicity(e.U, e.V) {
 				return fmt.Errorf("core: subgraph edge (%d,%d) missing from output", e.U, e.V)
 			}
 		}

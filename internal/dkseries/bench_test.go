@@ -27,6 +27,42 @@ func BenchmarkBuild2K(b *testing.B) {
 	}
 }
 
+// BenchmarkRewire drives the full Algorithm-6 loop on an identical
+// workload through both engines: the flat adjset implementation behind
+// Rewire and the frozen map-based reference (rewire_mapref_test.go).
+// `make bench-json` records both in BENCH_rewire.json; the adjset variant
+// must stay at least 2x lower in allocs/op with wall time no worse than
+// the recorded mapref baseline.
+func BenchmarkRewire(b *testing.B) {
+	src := benchSource(b, 2000)
+	dv, err := FromGraph(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jdm := JDMFromGraph(src)
+	res, err := Build(nil, nil, dv, jdm, rng(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := DegreeClustering(src)
+	run := func(b *testing.B, engine func(int, []graph.Edge, []graph.Edge, RewireOptions) (*graph.Graph, RewireStats)) {
+		b.ReportAllocs()
+		var accepted int
+		for i := 0; i < b.N; i++ {
+			cands := append([]graph.Edge(nil), res.Added...)
+			_, st := engine(src.N(), nil, cands, RewireOptions{
+				TargetClustering: target,
+				RC:               5,
+				Rand:             rng(uint64(i)),
+			})
+			accepted = st.Accepted
+		}
+		b.ReportMetric(float64(accepted), "accepted/op")
+	}
+	b.Run("adjset", func(b *testing.B) { run(b, Rewire) })
+	b.Run("mapref", func(b *testing.B) { run(b, rewireMapRef) })
+}
+
 func BenchmarkRewireAttempts(b *testing.B) {
 	src := benchSource(b, 2000)
 	dv, _ := FromGraph(src)

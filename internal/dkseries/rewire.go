@@ -2,7 +2,9 @@ package dkseries
 
 import (
 	"math/rand/v2"
+	"slices"
 
+	"sgr/internal/adjset"
 	"sgr/internal/graph"
 )
 
@@ -57,8 +59,10 @@ func Rewire(n int, fixed []graph.Edge, candidates []graph.Edge, opts RewireOptio
 		}
 	}
 	stats.FinalL1 = st.distance()
-	// Assemble the final graph.
-	g := graph.New(n)
+	// Assemble the final graph. Rewiring preserves every degree, so the
+	// state's degree vector pre-sizes the adjacency exactly: assembly does
+	// no per-edge allocation.
+	g := graph.NewWithDegrees(st.deg)
 	for _, e := range fixed {
 		g.AddEdge(e.U, e.V)
 	}
@@ -76,15 +80,15 @@ type halfRef struct {
 }
 
 type rewireState struct {
-	deg   []int         // node degrees (invariant)
-	adj   []map[int]int // multiplicity between distinct nodes
-	t     []int64       // per-node triangle counts
-	nk    []int64       // nodes per degree
-	sumT  []int64       // sum of t over nodes of each degree
-	tgt   []float64     // target c-hat(k)
-	normC float64       // sum_k c-hat(k)
-	term  []float64     // |present c(k) - target c(k)| per degree
-	sum   float64       // sum of term
+	deg   []int       // node degrees (invariant)
+	adj   *adjset.Set // multiplicity between distinct nodes, flat rows
+	t     []int64     // per-node triangle counts
+	nk    []int64     // nodes per degree
+	sumT  []int64     // sum of t over nodes of each degree
+	tgt   []float64   // target c-hat(k)
+	normC float64     // sum_k c-hat(k)
+	term  []float64   // |present c(k) - target c(k)| per degree
+	sum   float64     // sum of term
 
 	ends    []graph.Edge // current candidate edge endpoints
 	buckets [][]halfRef  // per-degree candidate half-edges
@@ -97,21 +101,31 @@ type rewireState struct {
 func newRewireState(n int, fixed, candidates []graph.Edge, target map[int]float64) *rewireState {
 	st := &rewireState{
 		deg: make([]int, n),
-		adj: make([]map[int]int, n),
 		t:   make([]int64, n),
 	}
-	for i := range st.adj {
-		st.adj[i] = make(map[int]int, 4)
-	}
-	addAdj := func(e graph.Edge) {
+	// Degrees first: the degree of a node bounds its distinct-neighbor
+	// count, so the adjacency rows can be carved from one arena up front.
+	bumpDeg := func(e graph.Edge) {
 		if e.U == e.V {
 			st.deg[e.U] += 2
 			return
 		}
 		st.deg[e.U]++
 		st.deg[e.V]++
-		st.adj[e.U][e.V]++
-		st.adj[e.V][e.U]++
+	}
+	for _, e := range fixed {
+		bumpDeg(e)
+	}
+	for _, e := range candidates {
+		bumpDeg(e)
+	}
+	st.adj = adjset.NewSized(st.deg)
+	addAdj := func(e graph.Edge) {
+		if e.U == e.V {
+			return // loops carry degree but no adjacency
+		}
+		st.adj.Inc(e.U, e.V)
+		st.adj.Inc(e.V, e.U)
 	}
 	for _, e := range fixed {
 		addAdj(e)
@@ -139,31 +153,34 @@ func newRewireState(n int, fixed, candidates []graph.Edge, target map[int]float6
 	for _, d := range st.deg {
 		st.nk[d]++
 	}
+	// Accumulate normC in ascending degree order: float addition is not
+	// associative, and map range order would make the normalization — and
+	// the reported L1 distances — vary between runs in the last bits.
 	for k, c := range target {
 		st.tgt[k] = c
-		st.normC += c
+	}
+	for k := range st.tgt {
+		st.normC += st.tgt[k]
 	}
 
-	// Initial triangle counts.
+	// Initial triangle counts: unordered distinct neighbor pairs straight
+	// off the flat slots, A_ab via an O(1) probe. Rows never contain their
+	// own node (self-loops are inert here), so no self skip is needed.
 	for u := 0; u < n; u++ {
-		row := st.adj[u]
-		if len(row) < 2 {
+		if st.adj.Len(u) < 2 {
 			continue
 		}
-		nbrs := make([]int, 0, len(row))
-		for v := range row {
-			nbrs = append(nbrs, v)
-		}
-		for i := 0; i < len(nbrs); i++ {
-			for j := i + 1; j < len(nbrs); j++ {
-				a, b := nbrs[i], nbrs[j]
-				ra, rb := st.adj[a], st.adj[b]
-				if len(ra) > len(rb) {
-					a, b = b, a
-					ra = st.adj[a]
+		keys, counts := st.adj.Row(u)
+		for i := 0; i < len(keys); i++ {
+			if keys[i] == adjset.Empty {
+				continue
+			}
+			for j := i + 1; j < len(keys); j++ {
+				if keys[j] == adjset.Empty {
+					continue
 				}
-				if ab := ra[b]; ab > 0 {
-					st.t[u] += int64(row[nbrs[i]]) * int64(row[nbrs[j]]) * int64(ab)
+				if ab := st.adj.Get(int(keys[i]), int(keys[j])); ab > 0 {
+					st.t[u] += int64(counts[i]) * int64(counts[j]) * int64(ab)
 				}
 			}
 		}
@@ -253,31 +270,44 @@ func (st *rewireState) bumpT(x int, delta int64) {
 	st.markDirty(st.deg[x])
 }
 
+// commonNeighbors visits every common neighbor w of u and v, scanning the
+// endpoint with fewer distinct neighbors and probing the other in O(1).
+// fn receives w and the product A_uw * A_vw; the total is returned.
+// Allocation-free: the row slots are read in place.
+func (st *rewireState) commonNeighbors(u, v int, fn func(w int, prod int64)) int64 {
+	small, large := u, v
+	if st.adj.Len(small) > st.adj.Len(large) {
+		small, large = large, small
+	}
+	keys, counts := st.adj.Row(small)
+	var cn int64
+	for i, wk := range keys {
+		if wk == adjset.Empty {
+			continue
+		}
+		w := int(wk)
+		if w == u || w == v {
+			continue
+		}
+		if cl := st.adj.Get(large, w); cl > 0 {
+			prod := int64(counts[i]) * int64(cl)
+			cn += prod
+			fn(w, prod)
+		}
+	}
+	return cn
+}
+
 // addEdge inserts one (u,v) instance, updating triangles. Loops are inert.
 func (st *rewireState) addEdge(u, v int) {
 	if u == v {
 		return
 	}
-	var cn int64
-	ru, rv := st.adj[u], st.adj[v]
-	small, large := ru, rv
-	if len(small) > len(large) {
-		small, large = large, small
-	}
-	for w, cw := range small {
-		if w == u || w == v {
-			continue
-		}
-		if cl := large[w]; cl > 0 {
-			prod := int64(cw) * int64(cl)
-			cn += prod
-			st.bumpT(w, prod)
-		}
-	}
+	cn := st.commonNeighbors(u, v, func(w int, prod int64) { st.bumpT(w, prod) })
 	st.bumpT(u, cn)
 	st.bumpT(v, cn)
-	ru[v]++
-	rv[u]++
+	st.adj.Inc(u, v)
+	st.adj.Inc(v, u)
 }
 
 // removeEdge deletes one (u,v) instance, updating triangles.
@@ -285,36 +315,20 @@ func (st *rewireState) removeEdge(u, v int) {
 	if u == v {
 		return
 	}
-	ru, rv := st.adj[u], st.adj[v]
-	if ru[v] == 1 {
-		delete(ru, v)
-		delete(rv, u)
-	} else {
-		ru[v]--
-		rv[u]--
-	}
-	var cn int64
-	small, large := ru, rv
-	if len(small) > len(large) {
-		small, large = large, small
-	}
-	for w, cw := range small {
-		if w == u || w == v {
-			continue
-		}
-		if cl := large[w]; cl > 0 {
-			prod := int64(cw) * int64(cl)
-			cn += prod
-			st.bumpT(w, -prod)
-		}
-	}
+	st.adj.Dec(u, v)
+	st.adj.Dec(v, u)
+	cn := st.commonNeighbors(u, v, func(w int, prod int64) { st.bumpT(w, -prod) })
 	st.bumpT(u, -cn)
 	st.bumpT(v, -cn)
 }
 
 // settleDirty refreshes term/sum for touched degrees and clears the dirty
-// set. Returns the updated total distance numerator.
+// set. Returns the updated total distance numerator. The dirty degrees are
+// settled in ascending order: float additions into sum are not associative,
+// so a fixed order makes the accumulated distance — and therefore every
+// accept/reject decision — independent of adjacency iteration order.
 func (st *rewireState) settleDirty() {
+	slices.Sort(st.dirty) // unlike sort.Ints, no interface boxing
 	for _, k := range st.dirty {
 		nt := st.termAt(k)
 		st.sum += nt - st.term[k]
@@ -345,7 +359,7 @@ func (st *rewireState) attempt(r *rand.Rand, forbidDegenerate bool) bool {
 	}
 	if forbidDegenerate {
 		// Reject swaps introducing loops or parallel edges.
-		if i == b || a == j || st.adj[i][b] > 0 || st.adj[a][j] > 0 {
+		if i == b || a == j || st.adj.Get(i, b) > 0 || st.adj.Get(a, j) > 0 {
 			return false
 		}
 	}

@@ -17,6 +17,7 @@ import (
 	"math"
 	"sort"
 
+	"sgr/internal/adjset"
 	"sgr/internal/sampling"
 )
 
@@ -29,9 +30,11 @@ type Walk struct {
 	Seq []int // x_1..x_r (original node IDs)
 	Deg []int // Deg[i] = true degree of Seq[i]
 
-	degOf map[int]int           // queried node -> true degree
-	pos   map[int][]int         // queried node -> sorted positions in Seq
-	adj   map[int]map[int]uint8 // adjacency among queried nodes (multiplicity)
+	degOf map[int]int   // queried node -> true degree
+	pos   map[int][]int // queried node -> sorted positions in Seq
+	idx   map[int]int   // queried node -> dense index into ids/adj
+	ids   []int         // dense index -> queried node, first-query order
+	adj   *adjset.Set   // adjacency among queried nodes (dense, multiplicity)
 }
 
 // NewWalk validates and indexes a random-walk crawl. The crawl must contain
@@ -44,7 +47,7 @@ func NewWalk(c *sampling.Crawl) (*Walk, error) {
 		Seq:   c.Walk,
 		degOf: make(map[int]int, len(c.Neighbors)),
 		pos:   make(map[int][]int),
-		adj:   make(map[int]map[int]uint8, len(c.Neighbors)),
+		idx:   make(map[int]int, len(c.Neighbors)),
 	}
 	for u, nb := range c.Neighbors {
 		w.degOf[u] = len(nb)
@@ -61,21 +64,41 @@ func NewWalk(c *sampling.Crawl) (*Walk, error) {
 		w.Deg[i] = d
 		w.pos[u] = append(w.pos[u], i)
 	}
-	// Adjacency restricted to queried nodes (all the estimators need).
-	for u, nb := range c.Neighbors {
-		row := make(map[int]uint8)
-		for _, v := range nb {
+	// Dense remap of queried nodes in first-query order, so adjacency
+	// iteration (JDDIE) is deterministic; fall back to the Neighbors keys
+	// for hand-built crawls that carry no Queried list.
+	for _, u := range c.Queried {
+		if _, ok := c.Neighbors[u]; !ok {
+			continue
+		}
+		if _, dup := w.idx[u]; dup {
+			continue
+		}
+		w.idx[u] = len(w.ids)
+		w.ids = append(w.ids, u)
+	}
+	var rest []int
+	for u := range c.Neighbors {
+		if _, ok := w.idx[u]; !ok {
+			rest = append(rest, u)
+		}
+	}
+	sort.Ints(rest) // map order would leak into the dense order
+	for _, u := range rest {
+		w.idx[u] = len(w.ids)
+		w.ids = append(w.ids, u)
+	}
+	// Adjacency restricted to queried nodes (all the estimators need),
+	// stored as flat multiset rows over the dense indices.
+	w.adj = adjset.New(len(w.ids))
+	for ui, u := range w.ids {
+		for _, v := range c.Neighbors[u] {
 			if v == u {
 				continue
 			}
-			if _, queried := c.Neighbors[v]; queried {
-				if row[v] < math.MaxUint8 {
-					row[v]++
-				}
+			if vi, queried := w.idx[v]; queried {
+				w.adj.Inc(ui, vi)
 			}
-		}
-		if len(row) > 0 {
-			w.adj[u] = row
 		}
 	}
 	return w, nil
@@ -98,7 +121,15 @@ func (w *Walk) multiplicity(u, v int) int {
 	if u == v {
 		return 0 // the hidden graphs are simple
 	}
-	return int(w.adj[u][v])
+	ui, ok := w.idx[u]
+	if !ok {
+		return 0
+	}
+	vi, ok := w.idx[v]
+	if !ok {
+		return 0
+	}
+	return w.adj.Get(ui, vi)
 }
 
 // numOrderedFarPairs returns |I| = (r-M)(r-M+1), the number of ordered index

@@ -1,5 +1,7 @@
 package estimate
 
+import "sgr/internal/adjset"
+
 // DegreePair is a canonical (K <= Kp) degree pair keying joint-degree maps.
 // The stored value is the full-matrix entry P(k,k') = P(k',k).
 type DegreePair struct{ K, Kp int }
@@ -29,16 +31,20 @@ func (w *Walk) JDDIE(nHat, avgDegHat float64, m int) map[DegreePair]float64 {
 	// For each adjacent queried pair {u,v}, count ordered far position
 	// pairs. Both orders contribute, so the diagonal entry (k,k)
 	// accumulates twice the unordered count. Each unordered pair is
-	// visited once via the u < v guard (adj stores both directions).
-	for u, row := range w.adj {
+	// visited once via the dense-index guard (adj stores both directions);
+	// the dense first-query order makes the float accumulation order — and
+	// thus the estimate bits — reproducible across runs.
+	for ui, u := range w.ids {
 		pu := w.pos[u]
 		if len(pu) == 0 {
 			continue
 		}
-		for v, mult := range row {
-			if u > v {
+		keys, counts := w.adj.Row(ui)
+		for si, vk := range keys {
+			if vk == adjset.Empty || ui > int(vk) {
 				continue
 			}
+			v := w.ids[vk]
 			pv := w.pos[v]
 			if len(pv) == 0 {
 				continue
@@ -48,7 +54,7 @@ func (w *Walk) JDDIE(nHat, avgDegHat float64, m int) map[DegreePair]float64 {
 				continue
 			}
 			du, dv := w.degOf[u], w.degOf[v]
-			contrib := far * float64(mult)
+			contrib := far * float64(counts[si])
 			if du == dv {
 				contrib *= 2
 			}

@@ -12,6 +12,8 @@ package graph
 import (
 	"fmt"
 	"sort"
+
+	"sgr/internal/adjset"
 )
 
 // Graph is an undirected multigraph over dense integer node IDs 0..N()-1.
@@ -22,6 +24,10 @@ import (
 type Graph struct {
 	adj [][]int
 	m   int // number of edges (a self-loop counts as one edge)
+
+	// idx caches the flat multiplicity index built by Index(); every
+	// mutating method resets it to nil.
+	idx *Index
 }
 
 // New returns a graph with n isolated nodes.
@@ -32,6 +38,32 @@ func New(n int) *Graph {
 	return &Graph{adj: make([][]int, n)}
 }
 
+// NewWithDegrees returns a graph with len(deg) isolated nodes whose
+// neighbor lists are preallocated to the given endpoint capacities out of
+// one shared arena (a self-loop consumes two endpoints). Callers that know
+// the final degree sequence — e.g. rewiring, which preserves degrees —
+// assemble the graph without any per-AddEdge allocation; exceeding a
+// capacity is safe and merely reallocates that list.
+func NewWithDegrees(deg []int) *Graph {
+	total := 0
+	for _, d := range deg {
+		if d > 0 {
+			total += d
+		}
+	}
+	arena := make([]int, total)
+	g := &Graph{adj: make([][]int, len(deg))}
+	off := 0
+	for u, d := range deg {
+		if d <= 0 {
+			continue
+		}
+		g.adj[u] = arena[off : off : off+d]
+		off += d
+	}
+	return g
+}
+
 // N returns the number of nodes.
 func (g *Graph) N() int { return len(g.adj) }
 
@@ -40,12 +72,14 @@ func (g *Graph) M() int { return g.m }
 
 // AddNode appends a new isolated node and returns its ID.
 func (g *Graph) AddNode() int {
+	g.idx = nil
 	g.adj = append(g.adj, nil)
 	return len(g.adj) - 1
 }
 
 // AddNodes appends k new isolated nodes and returns the ID of the first.
 func (g *Graph) AddNodes(k int) int {
+	g.idx = nil
 	first := len(g.adj)
 	g.adj = append(g.adj, make([][]int, k)...)
 	return first
@@ -56,6 +90,7 @@ func (g *Graph) AddNodes(k int) int {
 func (g *Graph) AddEdge(u, v int) {
 	g.checkNode(u)
 	g.checkNode(v)
+	g.idx = nil
 	g.adj[u] = append(g.adj[u], v)
 	if u != v {
 		g.adj[v] = append(g.adj[v], u)
@@ -73,6 +108,7 @@ func (g *Graph) RemoveEdge(u, v int) bool {
 	if !g.removeEndpoint(u, v) {
 		return false
 	}
+	g.idx = nil
 	if u != v {
 		if !g.removeEndpoint(v, u) {
 			panic(fmt.Sprintf("graph: asymmetric adjacency between %d and %d", u, v))
@@ -130,6 +166,52 @@ func (g *Graph) Multiplicity(u, v int) int {
 
 // HasEdge reports whether at least one edge joins u and v.
 func (g *Graph) HasEdge(u, v int) bool { return g.Multiplicity(u, v) > 0 }
+
+// Index is a flat adjacency-multiset snapshot of a Graph offering O(1)
+// Multiplicity and HasEdge, for callers that probe many node pairs (props,
+// validation, rewiring audits). Obtain one via Graph.Index().
+type Index struct {
+	set *adjset.Set
+}
+
+// Index returns the graph's multiplicity index, building it on first use
+// in O(n + m) and caching it on the graph. Any mutation (AddEdge,
+// RemoveEdge, AddNode, AddNodes) invalidates the cache, so a later Index()
+// call rebuilds; an Index handle held across a mutation keeps answering
+// for the snapshot it was built from. Building is not goroutine-safe:
+// call Index() once before sharing a graph across goroutines that read it.
+func (g *Graph) Index() *Index {
+	if g.idx == nil {
+		g.idx = g.buildIndex()
+	}
+	return g.idx
+}
+
+// buildIndex constructs a fresh index from the current adjacency lists.
+func (g *Graph) buildIndex() *Index {
+	s := adjset.New(len(g.adj))
+	for u, a := range g.adj {
+		for _, v := range a {
+			s.Inc(u, v)
+		}
+	}
+	return &Index{set: s}
+}
+
+// Multiplicity returns A[u][v] in O(1): the number of edges between
+// distinct u and v, or twice the number of self-loops if u == v.
+func (ix *Index) Multiplicity(u, v int) int { return ix.set.Get(u, v) }
+
+// HasEdge reports in O(1) whether at least one edge joins u and v.
+func (ix *Index) HasEdge(u, v int) bool { return ix.set.Get(u, v) > 0 }
+
+// DistinctNeighbors returns the number of distinct neighbors of u (a
+// self-loop counts u itself as one neighbor).
+func (ix *Index) DistinctNeighbors(u int) int { return ix.set.Len(u) }
+
+// Row exposes u's raw (neighbor, multiplicity) slots for allocation-free
+// iteration; slots with key adjset.Empty are vacant. Read-only.
+func (ix *Index) Row(u int) (keys, counts []int32) { return ix.set.Row(u) }
 
 // MaxDegree returns the maximum node degree (0 for an empty graph).
 func (g *Graph) MaxDegree() int {
@@ -250,12 +332,15 @@ func (g *Graph) Validate() error {
 	if ends != 2*g.m {
 		return fmt.Errorf("graph: %d endpoints but m=%d (want %d endpoints)", ends, g.m, 2*g.m)
 	}
+	// Fresh index (not the cache: Validate must see the adjacency as-is
+	// even if a caller corrupted it without going through a mutator).
+	ix := g.buildIndex()
 	for u := range g.adj {
 		for _, v := range g.adj[u] {
 			if u == v {
 				continue
 			}
-			if g.Multiplicity(u, v) != g.Multiplicity(v, u) {
+			if ix.Multiplicity(u, v) != ix.Multiplicity(v, u) {
 				return fmt.Errorf("graph: asymmetric multiplicity between %d and %d", u, v)
 			}
 		}

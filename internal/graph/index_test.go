@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIndexMatchesMultiplicity(t *testing.T) {
+	r := rand.New(rand.NewSource(517))
+	g := randomMultigraph(r, 40, 200)
+	ix := g.Index()
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			want := g.Multiplicity(u, v)
+			if got := ix.Multiplicity(u, v); got != want {
+				t.Fatalf("Index.Multiplicity(%d,%d)=%d want %d", u, v, got, want)
+			}
+			if got := ix.HasEdge(u, v); got != (want > 0) {
+				t.Fatalf("Index.HasEdge(%d,%d)=%v want %v", u, v, got, want > 0)
+			}
+		}
+	}
+}
+
+func TestIndexCachedAndInvalidated(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	ix := g.Index()
+	if g.Index() != ix {
+		t.Fatal("Index must be cached between calls without mutation")
+	}
+	g.AddEdge(1, 2)
+	ix2 := g.Index()
+	if ix2 == ix {
+		t.Fatal("AddEdge must invalidate the cached index")
+	}
+	if !ix2.HasEdge(1, 2) {
+		t.Fatal("rebuilt index missing new edge")
+	}
+	// The old handle still answers for its snapshot.
+	if ix.HasEdge(1, 2) {
+		t.Fatal("stale index handle must keep its snapshot")
+	}
+
+	g.RemoveEdge(0, 1)
+	if g.Index() == ix2 {
+		t.Fatal("RemoveEdge must invalidate the cached index")
+	}
+	if g.Index().HasEdge(0, 1) {
+		t.Fatal("index still reports removed edge")
+	}
+	g.Index() // warm the cache
+	g.AddNode()
+	if g.Index().set.NumNodes() != 5 {
+		t.Fatal("AddNode must invalidate so the index covers the new node")
+	}
+	g.Index()
+	g.AddNodes(3)
+	if g.Index().set.NumNodes() != 8 {
+		t.Fatal("AddNodes must invalidate so the index covers the new nodes")
+	}
+}
+
+func TestIndexSelfLoopConvention(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 0)
+	ix := g.Index()
+	if got := ix.Multiplicity(0, 0); got != 2 {
+		t.Fatalf("A[0][0] for one loop: %d want 2 (Newman convention)", got)
+	}
+	if ix.DistinctNeighbors(0) != 1 {
+		t.Fatalf("loop node distinct neighbors: %d want 1", ix.DistinctNeighbors(0))
+	}
+}
+
+func TestCloneDoesNotShareIndex(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	_ = g.Index()
+	c := g.Clone()
+	c.AddEdge(1, 2)
+	if !c.Index().HasEdge(1, 2) || g.Index().HasEdge(1, 2) {
+		t.Fatal("clone index leaked into the original (or vice versa)")
+	}
+}

@@ -1,6 +1,9 @@
 package graph
 
-import "sgr/internal/parallel"
+import (
+	"sgr/internal/adjset"
+	"sgr/internal/parallel"
+)
 
 // JointDegreeMatrix returns m(k,k') as a map keyed by canonical degree pairs
 // (k <= k'): the number of edges between nodes with degree k and degree k'.
@@ -47,44 +50,27 @@ func (g *Graph) TriangleCounts() []int64 { return g.TriangleCountsWorkers(0) }
 func (g *Graph) TriangleCountsWorkers(workers int) []int64 {
 	n := g.N()
 	t := make([]int64, n)
-	// Distinct-neighbor multiplicity maps, built once.
-	mult := make([]map[int]int, n)
+	// Flat multiplicity index, built once serially and then shared
+	// read-only across the worker goroutines.
+	ix := g.Index()
 	parallel.Blocks(workers, n, func(lo, hi int) {
 		for u := lo; u < hi; u++ {
-			a := g.adj[u]
-			mu := make(map[int]int, len(a))
-			for _, v := range a {
-				if v != u {
-					mu[v]++
+			keys, counts := ix.Row(u)
+			// Unordered distinct non-self neighbor pairs (j,l); A_jl via
+			// an O(1) probe. Triangle products are exact int64 sums, so
+			// the result is identical at any worker count and slot order.
+			for i := 0; i < len(keys); i++ {
+				j := keys[i]
+				if j == adjset.Empty || int(j) == u {
+					continue
 				}
-			}
-			mult[u] = mu
-		}
-	})
-	// For each node u, iterate over unordered distinct neighbor pairs (j,l)
-	// and look up A_jl in the smaller of the two maps.
-	parallel.Blocks(workers, n, func(lo, hi int) {
-		var nbrs []int
-		for u := lo; u < hi; u++ {
-			mu := mult[u]
-			if len(mu) < 2 {
-				continue
-			}
-			nbrs = nbrs[:0]
-			for v := range mu {
-				nbrs = append(nbrs, v)
-			}
-			for i := 0; i < len(nbrs); i++ {
-				j := nbrs[i]
-				aj := mu[j]
-				for k := i + 1; k < len(nbrs); k++ {
-					l := nbrs[k]
-					jj, ll := j, l
-					if len(mult[jj]) > len(mult[ll]) {
-						jj, ll = ll, jj
+				for k := i + 1; k < len(keys); k++ {
+					l := keys[k]
+					if l == adjset.Empty || int(l) == u {
+						continue
 					}
-					if ajl := mult[jj][ll]; ajl > 0 {
-						t[u] += int64(aj) * int64(mu[l]) * int64(ajl)
+					if ajl := ix.set.Get(int(j), int(l)); ajl > 0 {
+						t[u] += int64(counts[i]) * int64(counts[k]) * int64(ajl)
 					}
 				}
 			}

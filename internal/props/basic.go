@@ -14,6 +14,7 @@
 package props
 
 import (
+	"sgr/internal/adjset"
 	"sgr/internal/graph"
 	"sgr/internal/parallel"
 )
@@ -142,12 +143,8 @@ func EdgewiseSharedPartners(g *graph.Graph) map[int]float64 {
 
 func edgewiseSharedPartners(g *graph.Graph, workers int) map[int]float64 {
 	n := g.N()
-	mult := make([]map[int]int, n)
-	parallel.Blocks(workers, n, func(lo, hi int) {
-		for u := lo; u < hi; u++ {
-			mult[u] = g.NeighborMultiplicities(u)
-		}
-	})
+	// Flat multiplicity index, built once serially and shared read-only.
+	ix := g.Index()
 	// The shared-partner histogram is integer-valued, so per-block partial
 	// counts merge commutatively — identical at any worker count.
 	type partial struct {
@@ -163,26 +160,38 @@ func edgewiseSharedPartners(g *graph.Graph, workers int) map[int]float64 {
 			hi = n
 		}
 		for u := lo; u < hi; u++ {
-			for v, a := range mult[u] {
-				if v < u {
+			ku, cu := ix.Row(u)
+			for si, vk := range ku {
+				if vk == adjset.Empty {
 					continue
 				}
-				mu, mv := mult[u], mult[v]
-				if len(mu) > len(mv) {
-					mu, mv = mv, mu
+				v := int(vk)
+				if v <= u {
+					continue // each distinct pair once; self-loops excluded
 				}
+				// sp(u,v) = sum_{w != u,v} A_uw A_vw, scanning the endpoint
+				// with fewer distinct neighbors and probing the other.
+				a, bb := u, v
+				if ix.DistinctNeighbors(a) > ix.DistinctNeighbors(bb) {
+					a, bb = bb, a
+				}
+				ka, ca := ix.Row(a)
 				sp := 0
-				for w, cu := range mu {
+				for sj, wk := range ka {
+					if wk == adjset.Empty {
+						continue
+					}
+					w := int(wk)
 					if w == u || w == v {
 						continue
 					}
-					if cv := mv[w]; cv > 0 {
-						sp += cu * cv
+					if cb := ix.Multiplicity(bb, w); cb > 0 {
+						sp += int(ca[sj]) * cb
 					}
 				}
 				// One entry per parallel edge instance.
-				p.counts[sp] += a
-				p.total += a
+				p.counts[sp] += int(cu[si])
+				p.total += int(cu[si])
 			}
 		}
 		return p, nil

@@ -13,6 +13,7 @@ package sampling
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 
 	"sgr/internal/graph"
@@ -105,12 +106,14 @@ func (rec *recorder) query(u int) []int {
 func (rec *recorder) numQueried() int { return len(rec.crawl.Queried) }
 
 // budgetFromFraction converts a fraction of nodes into an absolute count,
-// clamped to at least 1.
+// rounded to nearest and clamped to at least 1. Rounding matters: float
+// products like 0.1*230 evaluate to 22.999999999999996, and truncation
+// would silently hand the crawler one query fewer than the protocol fixes.
 func budgetFromFraction(access Access, fraction float64) (int, error) {
 	if fraction <= 0 || fraction > 1 {
 		return 0, fmt.Errorf("sampling: fraction %v out of (0,1]", fraction)
 	}
-	b := int(fraction * float64(access.NumNodes()))
+	b := int(math.Round(fraction * float64(access.NumNodes())))
 	if b < 1 {
 		b = 1
 	}

@@ -29,18 +29,59 @@ func MetropolisHastingsWalk(access Access, seed int, fraction float64, r *rand.R
 		v := nb[r.IntN(len(nb))]
 		dv := len(rec.query(v))
 		if rec.numQueried() >= budget {
-			// Querying the proposal consumed the budget; record and stop.
-			rec.crawl.Walk = append(rec.crawl.Walk, v)
+			// Querying the proposal consumed the budget before the
+			// acceptance test could run. The query is counted (v is in the
+			// sampling list), but the proposal must NOT be recorded as a
+			// walk step: every recorded transition has to have passed the
+			// MH acceptance rule, or the chain's stationary distribution —
+			// and every re-weighted estimator built on it — is biased.
 			break
 		}
-		if dv == 0 {
-			continue
-		}
+		// dv >= 1 always: v was returned as a neighbor of cur, so in an
+		// undirected graph it is incident to at least the edge (cur, v).
 		if du := len(nb); r.Float64() < float64(du)/float64(dv) {
 			cur = v
 		}
 	}
 	return rec.crawl, nil
+}
+
+// MetropolisHastingsWalkSteps performs the same Metropolis–Hastings walk
+// for exactly steps recorded steps (with repetition), regardless of the
+// distinct-query count — the fixed-length variant used for studying the
+// chain's stationary distribution, mirroring RandomWalkSteps.
+func MetropolisHastingsWalkSteps(access Access, seed, steps int, r *rand.Rand) (*Crawl, error) {
+	if steps < 1 {
+		return nil, fmt.Errorf("sampling: steps %d < 1", steps)
+	}
+	rec := newRecorder(access)
+	cur := seed
+	for i := 0; i < steps; i++ {
+		nb := rec.query(cur)
+		rec.crawl.Walk = append(rec.crawl.Walk, cur)
+		if i == steps-1 {
+			break
+		}
+		if len(nb) == 0 {
+			return nil, fmt.Errorf("sampling: MH walk stuck at isolated node %d", cur)
+		}
+		v := nb[r.IntN(len(nb))]
+		dv := len(rec.query(v)) // >= 1: v is adjacent to cur
+		if du := len(nb); r.Float64() < float64(du)/float64(dv) {
+			cur = v
+		}
+	}
+	return rec.crawl, nil
+}
+
+// allEqual reports whether every entry of nb equals w.
+func allEqual(nb []int, w int) bool {
+	for _, v := range nb {
+		if v != w {
+			return false
+		}
+	}
+	return true
 }
 
 // NonBacktrackingWalk performs the non-backtracking random walk of Lee,
@@ -64,28 +105,21 @@ func NonBacktrackingWalk(access Access, seed int, fraction float64, r *rand.Rand
 			return nil, fmt.Errorf("sampling: NB walk stuck at isolated node %d", cur)
 		}
 		next := -1
-		if len(nb) == 1 {
-			next = nb[0]
-		} else {
-			// Rejection-sample a neighbor different from prev. prev can
-			// appear multiple times (multi-edges), so count its multiplicity
-			// to bound the loop.
+		switch {
+		case len(nb) == 1:
+			next = nb[0] // degree-1 node: forced backtrack
+		case allEqual(nb, prev):
+			// Multi-edge leaf: every incident edge leads back to prev, so
+			// the walk must backtrack. Detecting this once up front keeps
+			// the rejection loop below guaranteed to terminate without
+			// re-scanning the neighbor list on every rejected draw.
+			next = prev
+		default:
+			// Rejection-sample a neighbor different from prev; at least
+			// one exists, so the loop terminates with probability 1.
 			for {
-				cand := nb[r.IntN(len(nb))]
-				if cand != prev {
+				if cand := nb[r.IntN(len(nb))]; cand != prev {
 					next = cand
-					break
-				}
-				// All neighbors equal prev (multi-edge leaf): backtrack.
-				all := true
-				for _, w := range nb {
-					if w != prev {
-						all = false
-						break
-					}
-				}
-				if all {
-					next = prev
 					break
 				}
 			}
