@@ -6,7 +6,7 @@ FUZZTIME ?= 10s
 # Iterations per benchmark when recording the BENCH_rewire.json baseline.
 BENCHTIME ?= 5x
 
-.PHONY: build test race bench bench-json lint fuzz ci
+.PHONY: build test race bench bench-json bench-oracle-json oracle-e2e lint fuzz ci
 
 build:
 	$(GO) build ./...
@@ -37,13 +37,32 @@ bench-json:
 	rm -f $$tmp; \
 	cat BENCH_rewire.json
 
+# Record the oracle (graphd HTTP server + resilient client) throughput
+# baseline — raw query rate, full remote crawls, and the 8-concurrent-
+# crawler load shape — as committed JSON, mirroring bench-json.
+bench-oracle-json:
+	@tmp=$$(mktemp); \
+	$(GO) test -run='^$$' -bench='^BenchmarkOracle' \
+		-benchmem -benchtime=$(BENCHTIME) ./internal/oracle \
+		> $$tmp || { cat $$tmp; rm -f $$tmp; exit 1; }; \
+	$(GO) run ./cmd/benchjson < $$tmp > BENCH_oracle.json; \
+	rm -f $$tmp; \
+	cat BENCH_oracle.json
+
+# Client/server acceptance gate: boot graphd on a random port with
+# injected faults, crawl it over HTTP under -race, require byte-identical
+# output vs the in-memory path, resume from the journal, restore offline.
+oracle-e2e:
+	bash scripts/oracle_e2e.sh
+
 lint:
 	$(GO) vet ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# Short fuzz smoke of the core package's native fuzz targets.
+# Short fuzz smoke of the native fuzz targets.
 fuzz:
 	$(GO) test ./internal/core -run='^FuzzFenwick$$' -fuzz='^FuzzFenwick$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/sampling -run='^FuzzReadCrawlJSON$$' -fuzz='^FuzzReadCrawlJSON$$' -fuzztime=$(FUZZTIME)
 
-ci: lint build test race fuzz bench
+ci: lint build test race fuzz bench oracle-e2e

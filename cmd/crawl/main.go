@@ -1,11 +1,14 @@
 // Command crawl samples a graph with one of the paper's crawling methods
 // and writes the induced subgraph as an edge list (with original node IDs
-// preserved via comment metadata).
+// preserved via comment metadata). The hidden graph is either loaded
+// locally (-graph) or crawled over the wire from a running graphd (-url);
+// both paths are byte-identical at the same seed.
 //
 // Usage:
 //
 //	crawl -graph g.edges -method rw -fraction 0.1 -out sub.edges
 //	crawl -graph g.edges -method snowball -k 50 -fraction 0.05
+//	crawl -url http://127.0.0.1:8080 -fraction 0.1 -journal crawl.journal -save-crawl crawl.json
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"os"
 
 	"sgr/internal/graph"
+	"sgr/internal/oracle"
 	"sgr/internal/sampling"
 )
 
@@ -23,46 +27,106 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("crawl: ")
 	var (
-		path     = flag.String("graph", "", "graph edge list (required)")
+		path     = flag.String("graph", "", "graph edge list (local crawl)")
+		url      = flag.String("url", "", "graphd base URL (remote crawl), e.g. http://127.0.0.1:8080")
+		apiKey   = flag.String("api-key", "", "X-API-Key identifying this crawler to graphd's rate limiter")
+		journal  = flag.String("journal", "", "crawl journal path (with -url): answered queries persist here, and an interrupted crawl rerun with the same seed resumes without re-spending budget")
+		retries  = flag.Int("retries", 8, "max retries per API request (with -url)")
 		method   = flag.String("method", "rw", "rw, bfs, snowball, ff, mh, nbrw")
-		fraction = flag.Float64("fraction", 0.10, "fraction of nodes to query")
+		fraction = flag.Float64("fraction", 0.10, "fraction of nodes to query, in (0,1]")
 		k        = flag.Int("k", 50, "snowball neighbor cap")
 		pf       = flag.Float64("pf", 0.7, "forest fire burn probability")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		seedNode = flag.Int("seed-node", -1, "start node id (default: drawn from the RNG)")
 		out      = flag.String("out", "", "output subgraph edge list (default stdout)")
 		saveRaw  = flag.String("save-crawl", "", "also save the raw sampling list as JSON (feed to restore -crawl)")
 	)
 	flag.Parse()
-	if *path == "" {
-		log.Fatal("-graph is required")
+	if (*path == "") == (*url == "") {
+		log.Fatal("exactly one of -graph or -url is required")
 	}
-	g, _, err := graph.LoadEdgeList(*path)
-	if err != nil {
-		log.Fatal(err)
+	if *fraction <= 0 || *fraction > 1 {
+		log.Fatalf("-fraction must be in (0,1], got %v", *fraction)
 	}
+	if *journal != "" && *url == "" {
+		log.Fatal("-journal requires -url (local crawls are free to rerun)")
+	}
+
+	var access sampling.Access
+	var client *oracle.Client
+	if *url != "" {
+		var err error
+		client, err = oracle.NewClient(oracle.ClientConfig{
+			BaseURL:     *url,
+			APIKey:      *apiKey,
+			MaxRetries:  *retries,
+			JournalPath: *journal,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer client.Close()
+		access = client
+	} else {
+		g, _, err := graph.LoadEdgeList(*path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		access = sampling.NewGraphAccess(g)
+	}
+	n := access.NumNodes()
+
 	r := rand.New(rand.NewPCG(*seed, *seed^0x27d4eb2f))
-	access := sampling.NewGraphAccess(g)
-	seedNode := r.IntN(g.N())
+	start := *seedNode
+	if start < 0 {
+		start = r.IntN(n)
+	} else if start >= n {
+		log.Fatalf("-seed-node %d out of range [0,%d)", start, n)
+	}
 
 	var c *sampling.Crawl
+	var err error
 	switch *method {
 	case "rw":
-		c, err = sampling.RandomWalk(access, seedNode, *fraction, r)
+		c, err = sampling.RandomWalk(access, start, *fraction, r)
 	case "bfs":
-		c, err = sampling.BFS(access, seedNode, *fraction)
+		c, err = sampling.BFS(access, start, *fraction)
 	case "snowball":
-		c, err = sampling.Snowball(access, seedNode, *k, *fraction, r)
+		c, err = sampling.Snowball(access, start, *k, *fraction, r)
 	case "ff":
-		c, err = sampling.ForestFire(access, seedNode, *pf, *fraction, r)
+		c, err = sampling.ForestFire(access, start, *pf, *fraction, r)
 	case "mh":
-		c, err = sampling.MetropolisHastingsWalk(access, seedNode, *fraction, r)
+		c, err = sampling.MetropolisHastingsWalk(access, start, *fraction, r)
 	case "nbrw":
-		c, err = sampling.NonBacktrackingWalk(access, seedNode, *fraction, r)
+		c, err = sampling.NonBacktrackingWalk(access, start, *fraction, r)
 	default:
 		log.Fatalf("unknown method %q", *method)
 	}
+	if client != nil && client.Err() != nil {
+		// A dead oracle surfaces in walkers as a bogus "isolated node";
+		// report the real cause.
+		log.Fatalf("remote crawl failed: %v", client.Err())
+	}
 	if err != nil {
+		if client != nil && client.PrivateSeen() > 0 {
+			// Private answers also read as empty neighbor lists to the
+			// walkers. Remote crawling cannot see privacy before spending
+			// the query, so a private-heavy server needs the private set
+			// supplied client-side (sampling.NewPrivateAccess over the
+			// oracle client) rather than discovered by walking into it.
+			log.Fatalf("%v (%d queried node(s) answered private — the server hides their neighbor lists)",
+				err, client.PrivateSeen())
+		}
 		log.Fatal(err)
+	}
+	if client != nil {
+		fmt.Fprintf(os.Stderr, "crawl: oracle: %d nodes fetched over HTTP in %d requests (%d replayed from journal)\n",
+			client.NodesFetched(), client.Requests(), int64(c.NumQueried())-client.NodesFetched())
+		if *journal != "" && len(c.Walk) > 0 {
+			if err := client.RecordWalk(c.Walk); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 	sub := sampling.BuildSubgraph(c)
 	fmt.Fprintf(os.Stderr, "crawl: queried %d nodes; subgraph n=%d m=%d (%d queried, %d visible)\n",

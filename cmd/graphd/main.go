@@ -1,0 +1,178 @@
+// Command graphd serves a hidden graph over the oracle HTTP/JSON API —
+// the paper's access model as a real network service. Crawlers reach it
+// with `crawl -url`; the served neighbor lists are in graph adjacency
+// order, so a remote crawl is byte-identical to an in-memory one at the
+// same seed.
+//
+// Usage:
+//
+//	graphd -graph g.edges -addr 127.0.0.1:8080
+//	graphd -dataset anybeat -scale 0.1 -addr 127.0.0.1:0 -addr-file addr.txt
+//	graphd -graph g.edges -rate 100 -burst 20 -latency 5ms -jitter 5ms -error-rate 0.01
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"sgr/internal/gen"
+	"sgr/internal/graph"
+	"sgr/internal/oracle"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("graphd: ")
+	var (
+		path     = flag.String("graph", "", "graph edge list to serve")
+		dataset  = flag.String("dataset", "", "serve a generated dataset stand-in instead of loading")
+		scale    = flag.Float64("scale", 0.1, "scale for -dataset")
+		seed     = flag.Uint64("seed", 1, "random seed for -dataset generation")
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		addrFile = flag.String("addr-file", "", "write the bound address here once listening (for scripts)")
+		pageSize = flag.Int("page-size", oracle.DefaultPageSize, "max neighbors per response page")
+
+		rate  = flag.Float64("rate", 0, "per-client request rate limit in req/s (0 = unlimited)")
+		burst = flag.Int("burst", 16, "rate-limit burst per client")
+
+		latency   = flag.Duration("latency", 0, "injected base latency per request")
+		jitter    = flag.Duration("jitter", 0, "injected uniform extra latency in [0, jitter)")
+		errorRate = flag.Float64("error-rate", 0, "probability of answering a request with a transient 503")
+		faultSeed = flag.Uint64("fault-seed", 1, "seed for the latency-jitter/error fault stream")
+
+		private         = flag.String("private", "", "comma-separated node ids served as private")
+		privateFraction = flag.Float64("private-fraction", 0, "additionally mark this fraction of nodes private")
+		privateSeed     = flag.Uint64("private-seed", 1, "seed for -private-fraction selection")
+	)
+	flag.Parse()
+	if (*path == "") == (*dataset == "") {
+		log.Fatal("exactly one of -graph or -dataset is required")
+	}
+	if *errorRate < 0 || *errorRate >= 1 {
+		log.Fatalf("-error-rate must be in [0,1), got %v", *errorRate)
+	}
+
+	var g *graph.Graph
+	if *path != "" {
+		var err error
+		g, _, err = graph.LoadEdgeList(*path)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		d, err := gen.ByName(*dataset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g = d.Build(*scale, rand.New(rand.NewPCG(*seed, *seed^0x5bd1e995)))
+	}
+
+	priv, err := privateNodes(g.N(), *private, *privateFraction, *privateSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := oracle.NewServer(g, oracle.ServerConfig{
+		PageSize:  *pageSize,
+		Rate:      *rate,
+		Burst:     *burst,
+		Latency:   *latency,
+		Jitter:    *jitter,
+		ErrorRate: *errorRate,
+		FaultSeed: *faultSeed,
+		Private:   priv,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		// Write-then-rename so script watchers never read a partial file.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(bound+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("serving graph n=%d m=%d (%d private nodes) on http://%s", g.N(), g.M(), len(priv), bound)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("caught %v, shutting down", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	log.Printf("served %d neighbor queries (%d rate-limited, %d injected faults)",
+		srv.QueriesServed(), srv.RateLimited(), srv.Faulted())
+}
+
+// privateNodes merges the explicit -private list with a seeded
+// -private-fraction draw, validating ids against the node range.
+func privateNodes(n int, list string, fraction float64, seed uint64) ([]int, error) {
+	if fraction < 0 || fraction >= 1 {
+		return nil, fmt.Errorf("-private-fraction must be in [0,1), got %v", fraction)
+	}
+	seen := make(map[int]struct{})
+	var out []int
+	add := func(u int) error {
+		if u < 0 || u >= n {
+			return fmt.Errorf("private node %d out of range [0,%d)", u, n)
+		}
+		if _, dup := seen[u]; !dup {
+			seen[u] = struct{}{}
+			out = append(out, u)
+		}
+		return nil
+	}
+	if list != "" {
+		for _, tok := range strings.Split(list, ",") {
+			u, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				return nil, fmt.Errorf("bad -private entry %q", tok)
+			}
+			if err := add(u); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if fraction > 0 {
+		r := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+		// Rejection-sample distinct nodes until the fraction is reached
+		// (fraction < 1, so this terminates quickly).
+		target := len(seen) + int(fraction*float64(n))
+		if target > n {
+			target = n
+		}
+		for len(seen) < target {
+			if err := add(r.IntN(n)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}

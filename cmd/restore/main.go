@@ -19,6 +19,7 @@ import (
 	"sgr/internal/gen"
 	"sgr/internal/graph"
 	"sgr/internal/metrics"
+	"sgr/internal/oracle"
 	"sgr/internal/parallel"
 	"sgr/internal/props"
 	"sgr/internal/sampling"
@@ -31,6 +32,7 @@ func main() {
 		path     = flag.String("graph", "", "original graph edge list")
 		dataset  = flag.String("dataset", "", "generate a dataset stand-in instead of loading")
 		crawlIn  = flag.String("crawl", "", "restore from a saved sampling list (crawl -save-crawl) instead of walking")
+		journal  = flag.String("journal", "", "restore from an oracle crawl journal (crawl -url -journal) instead of walking")
 		scale    = flag.Float64("scale", 0.1, "scale for -dataset")
 		fraction = flag.Float64("fraction", 0.10, "fraction of nodes to query")
 		method   = flag.String("method", "proposed", "proposed or gjoka")
@@ -43,6 +45,9 @@ func main() {
 	)
 	flag.Parse()
 
+	if *crawlIn != "" && *journal != "" {
+		log.Fatal("-crawl and -journal are mutually exclusive")
+	}
 	r := rand.New(rand.NewPCG(*seed, *seed^0xc2b2ae35))
 	var g *graph.Graph
 	switch {
@@ -59,11 +64,12 @@ func main() {
 			log.Fatal(err)
 		}
 		g = d.Build(*scale, r)
-	case *crawlIn != "":
-		// Restoration from a saved sampling list needs no original graph;
-		// the comparison step is skipped unless -graph is also given.
+	case *crawlIn != "", *journal != "":
+		// Restoration from a saved sampling list or crawl journal needs no
+		// original graph; the comparison step is skipped unless -graph is
+		// also given.
 	default:
-		log.Fatal("one of -graph, -dataset or -crawl is required")
+		log.Fatal("one of -graph, -dataset, -crawl or -journal is required")
 	}
 	if g != nil {
 		fmt.Printf("original: n=%d m=%d\n", g.N(), g.M())
@@ -71,7 +77,8 @@ func main() {
 
 	var crawl *sampling.Crawl
 	var err error
-	if *crawlIn != "" {
+	switch {
+	case *crawlIn != "":
 		crawl, err = sampling.LoadCrawl(*crawlIn)
 		if err != nil {
 			log.Fatal(err)
@@ -79,7 +86,15 @@ func main() {
 		if len(crawl.Walk) == 0 {
 			log.Fatal("saved crawl has no walk sequence (restoration needs a random-walk crawl)")
 		}
-	} else {
+	case *journal != "":
+		crawl, err = oracle.LoadCrawlFromJournal(*journal)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(crawl.Walk) == 0 {
+			log.Fatal("journal has no walk record: the remote crawl did not complete (rerun crawl -url -journal with the same seed to resume it)")
+		}
+	default:
 		seedNode := r.IntN(g.N())
 		crawl, err = sampling.RandomWalk(sampling.NewGraphAccess(g), seedNode, *fraction, r)
 		if err != nil {

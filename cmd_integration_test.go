@@ -1,11 +1,13 @@
 package sgr_test
 
 import (
+	"bytes"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // runTool runs one of the repository's commands via `go run` and returns
@@ -66,6 +68,76 @@ func TestCLIPipeline(t *testing.T) {
 		"-out", filepath.Join(dir, "offline.edges"))
 	if !strings.Contains(out, "restored:") {
 		t.Fatalf("offline restore output: %s", out)
+	}
+}
+
+// TestCLIOraclePipeline drives the client/server workflow end to end: boot
+// graphd on a random port, crawl it over HTTP with a journal, require the
+// crawl byte-identical to the in-memory path at the same seed, and restore
+// offline from the journal.
+func TestCLIOraclePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle CLI pipeline is slow (compiles the tools)")
+	}
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.edges")
+	runTool(t, "./cmd/gengraph", "-dataset", "anybeat", "-scale", "0.05", "-seed", "3", "-out", graphPath)
+
+	// graphd runs as a managed subprocess; -addr-file publishes the bound
+	// random port once it is listening.
+	graphd := filepath.Join(dir, "graphd")
+	if out, err := exec.Command("go", "build", "-o", graphd, "./cmd/graphd").CombinedOutput(); err != nil {
+		t.Fatalf("building graphd: %v\n%s", err, out)
+	}
+	addrFile := filepath.Join(dir, "addr")
+	daemon := exec.Command(graphd, "-graph", graphPath, "-addr", "127.0.0.1:0",
+		"-addr-file", addrFile, "-latency", "1ms", "-error-rate", "0.05", "-fault-seed", "7")
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}()
+	var addr []byte
+	for i := 0; i < 100; i++ {
+		var err error
+		if addr, err = os.ReadFile(addrFile); err == nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if len(addr) == 0 {
+		t.Fatal("graphd never published its address")
+	}
+	url := "http://" + strings.TrimSpace(string(addr))
+
+	httpJSON := filepath.Join(dir, "http.json")
+	memJSON := filepath.Join(dir, "mem.json")
+	journal := filepath.Join(dir, "crawl.journal")
+	out := runTool(t, "./cmd/crawl", "-url", url, "-fraction", "0.1", "-seed", "3",
+		"-journal", journal, "-save-crawl", httpJSON, "-out", filepath.Join(dir, "http.edges"))
+	if !strings.Contains(out, "fetched over HTTP") {
+		t.Fatalf("remote crawl output: %s", out)
+	}
+	runTool(t, "./cmd/crawl", "-graph", graphPath, "-fraction", "0.1", "-seed", "3",
+		"-save-crawl", memJSON, "-out", filepath.Join(dir, "mem.edges"))
+	a, err := os.ReadFile(httpJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(memJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("remote crawl JSON differs from in-memory crawl JSON")
+	}
+
+	out = runTool(t, "./cmd/restore", "-journal", journal, "-rc", "5", "-seed", "3",
+		"-compare=false", "-out", filepath.Join(dir, "restored.edges"))
+	if !strings.Contains(out, "restored:") {
+		t.Fatalf("journal restore output: %s", out)
 	}
 }
 

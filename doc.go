@@ -38,6 +38,18 @@
 // README.md for the exact stream derivation and the CI gates that enforce
 // this.
 //
+// The access model is also served over the network: internal/oracle plus
+// cmd/graphd expose a hidden graph through an HTTP/JSON API implementing
+// exactly the paper's neighbor-query interface — paginated hub responses,
+// per-client token-bucket rate limiting, injected latency and transient
+// errors, and private profiles — while oracle.Client implements
+// sampling.Access over the wire with bounded retries, pagination
+// reassembly, an in-flight-deduplicating cache, and an on-disk crawl
+// journal that resumes interrupted crawls without re-spending budget
+// (restore -journal consumes it offline). A remote crawl is byte-identical
+// to the in-memory path at the same seed; see README.md, "The networked
+// graph oracle".
+//
 // Adjacency hot paths run on internal/adjset, a flat open-addressing
 // multiset (int32 key/count slots, linear probing, backward-shift
 // deletion) that replaces map-based rows in phase-4 rewiring, the walk

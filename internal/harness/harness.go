@@ -78,6 +78,15 @@ type Config struct {
 	Walker Walker
 	// FrontierDim is the walker count for WalkerFrontier (default 4).
 	FrontierDim int
+	// Access, when non-nil, supplies the crawlers' view of the hidden
+	// graph — e.g. an oracle.Client so the whole protocol crawls a remote
+	// graphd instead of in-process memory (restoration then runs locally
+	// on the fetched sampling lists). The factory is called once per
+	// crawl; returning a shared concurrency-safe Access is fine, since
+	// cells only ever read through it. The default wraps g in
+	// sampling.NewGraphAccess. Evaluations are byte-identical across any
+	// two Access implementations serving the same neighbor lists.
+	Access func(g *graph.Graph) sampling.Access
 	// PropOpts tunes property computation (pivot thresholds etc.).
 	PropOpts props.Options
 	// Workers bounds how many evaluation cells — independent
@@ -125,6 +134,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Methods == nil {
 		c.Methods = AllMethods
+	}
+	if c.Access == nil {
+		c.Access = func(g *graph.Graph) sampling.Access { return sampling.NewGraphAccess(g) }
 	}
 	// Property computation inside a cell defaults to serial: the engine's
 	// parallelism unit is the cell, and nesting GOMAXPROCS-wide property
@@ -332,9 +344,29 @@ func Evaluate(g *graph.Graph, cfg Config) (*Evaluation, error) {
 	return ev, nil
 }
 
+// accessErr surfaces a hard failure from Access implementations that
+// carry one (oracle.Client.Err): NeighborsOf cannot return errors, so a
+// dead oracle otherwise reads as empty neighbor lists — walks fail with a
+// bogus "isolated node", and BFS-family crawls silently truncate below
+// budget. Checked after every crawl, win or lose.
+func accessErr(access sampling.Access) error {
+	if a, ok := access.(interface{ Err() error }); ok && a.Err() != nil {
+		return fmt.Errorf("harness: graph access failed: %w", a.Err())
+	}
+	return nil
+}
+
 // crawlWalk performs the configured walk variant.
 func crawlWalk(g *graph.Graph, cfg Config, seed int, r *rand.Rand) (*sampling.Crawl, error) {
-	access := sampling.NewGraphAccess(g)
+	access := cfg.Access(g)
+	c, err := crawlWalkOn(access, cfg, seed, r)
+	if aerr := accessErr(access); aerr != nil {
+		return nil, aerr
+	}
+	return c, err
+}
+
+func crawlWalkOn(access sampling.Access, cfg Config, seed int, r *rand.Rand) (*sampling.Crawl, error) {
 	switch cfg.Walker {
 	case WalkerSimple:
 		return sampling.RandomWalk(access, seed, cfg.Fraction, r)
@@ -350,7 +382,7 @@ func crawlWalk(g *graph.Graph, cfg Config, seed int, r *rand.Rand) (*sampling.Cr
 		seeds := make([]int, dim)
 		seeds[0] = seed
 		for i := 1; i < dim; i++ {
-			seeds[i] = r.IntN(g.N())
+			seeds[i] = r.IntN(access.NumNodes())
 		}
 		return sampling.FrontierSampling(access, seeds, cfg.Fraction, r)
 	}
@@ -365,23 +397,41 @@ func generate(g *graph.Graph, cfg Config, m Method, seed int, walk *sampling.Cra
 		sub := sampling.BuildSubgraph(c)
 		return sub.Graph, time.Since(start)
 	}
+	// crawlVia runs one crawler against a fresh Access, surfacing hard
+	// access failures that crawlers cannot report themselves (BFS-family
+	// methods would otherwise return silently truncated crawls when a
+	// remote oracle dies).
+	crawlVia := func(crawler func(sampling.Access) (*sampling.Crawl, error)) (*sampling.Crawl, error) {
+		access := cfg.Access(g)
+		c, err := crawler(access)
+		if aerr := accessErr(access); aerr != nil {
+			return nil, aerr
+		}
+		return c, err
+	}
 	switch m {
 	case MethodBFS:
-		c, err := sampling.BFS(sampling.NewGraphAccess(g), seed, cfg.Fraction)
+		c, err := crawlVia(func(a sampling.Access) (*sampling.Crawl, error) {
+			return sampling.BFS(a, seed, cfg.Fraction)
+		})
 		if err != nil {
 			return nil, 0, 0, err
 		}
 		sg, d := subgraphOf(c)
 		return sg, d, 0, nil
 	case MethodSnowball:
-		c, err := sampling.Snowball(sampling.NewGraphAccess(g), seed, cfg.SnowballK, cfg.Fraction, r)
+		c, err := crawlVia(func(a sampling.Access) (*sampling.Crawl, error) {
+			return sampling.Snowball(a, seed, cfg.SnowballK, cfg.Fraction, r)
+		})
 		if err != nil {
 			return nil, 0, 0, err
 		}
 		sg, d := subgraphOf(c)
 		return sg, d, 0, nil
 	case MethodFF:
-		c, err := sampling.ForestFire(sampling.NewGraphAccess(g), seed, cfg.ForestFirePF, cfg.Fraction, r)
+		c, err := crawlVia(func(a sampling.Access) (*sampling.Crawl, error) {
+			return sampling.ForestFire(a, seed, cfg.ForestFirePF, cfg.Fraction, r)
+		})
 		if err != nil {
 			return nil, 0, 0, err
 		}

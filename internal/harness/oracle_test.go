@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"sgr/internal/graph"
+	"sgr/internal/oracle"
+	"sgr/internal/sampling"
+)
+
+// TestEvaluateOverOracleMatchesInMemory runs the full paper protocol —
+// every crawler fetching over HTTP from a graphd-style server (with
+// injected latency and transient faults), restoration running locally —
+// and requires results identical to the all-in-memory evaluation: the
+// wire is invisible at equal seeds.
+func TestEvaluateOverOracleMatchesInMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-protocol oracle evaluation is slow")
+	}
+	g := smallGraph(t)
+	srv := oracle.NewServer(g, oracle.ServerConfig{
+		PageSize:  32,
+		Latency:   20 * time.Microsecond,
+		ErrorRate: 0.02,
+		FaultSeed: 12,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client, err := oracle.NewClient(oracle.ClientConfig{
+		BaseURL:     ts.URL,
+		MaxRetries:  12,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	cfg := Config{Fraction: 0.10, Runs: 1, RC: 3, Seed: 99}
+	inMem, err := Evaluate(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Access = func(*graph.Graph) sampling.Access { return client }
+	remote, err := Evaluate(g, cfg)
+	if err != nil {
+		t.Fatalf("oracle evaluation: %v (client: %v)", err, client.Err())
+	}
+	if client.Err() != nil {
+		t.Fatalf("client error: %v", client.Err())
+	}
+	if client.NodesFetched() == 0 {
+		t.Fatal("evaluation never touched the oracle")
+	}
+
+	for _, m := range AllMethods {
+		a, b := inMem.Stats[m], remote.Stats[m]
+		for i := range a.PerProperty {
+			if len(a.PerProperty[i]) != len(b.PerProperty[i]) {
+				t.Fatalf("%s property %d: run counts differ", m, i)
+			}
+			for r := range a.PerProperty[i] {
+				if a.PerProperty[i][r] != b.PerProperty[i][r] {
+					t.Fatalf("%s property %d run %d: in-memory %v, over oracle %v",
+						m, i, r, a.PerProperty[i][r], b.PerProperty[i][r])
+				}
+			}
+		}
+	}
+}

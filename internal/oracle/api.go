@@ -1,0 +1,61 @@
+// Package oracle reifies the paper's graph-access model (Sec. III-A) as a
+// networked service: a graphd HTTP/JSON server that exposes a hidden graph
+// strictly through neighbor queries, and a resilient client that implements
+// sampling.Access over the wire.
+//
+// The paper's setting is a third party crawling a remote social-network API
+// under a query budget; everywhere else in this repository that API is
+// simulated by an in-process sampling.GraphAccess. This package serves it
+// for real, with the failure modes of real social-network APIs — per-client
+// rate limits, latency, transient errors, private profiles — injected
+// server-side, and the defenses a real crawler needs — bounded retries with
+// exponential backoff, pagination reassembly, an in-flight-deduplicating
+// neighbor cache, and an on-disk crawl journal that lets an interrupted
+// crawl resume without re-spending API budget — built into the client.
+//
+// The wire protocol (version 1) has two endpoints:
+//
+//	GET /v1/meta                           -> Meta
+//	GET /v1/nodes/{id}/neighbors?cursor=C  -> NeighborsPage (one page)
+//
+// Neighbor lists are served in the hidden graph's adjacency order and
+// paginated for high-degree hubs; a crawl through Client is therefore
+// byte-identical to one through sampling.GraphAccess at the same seed.
+// Errors are JSON Error bodies with a non-2xx status: 403 "private",
+// 404 "unknown_node", 400 "bad_request", 429 "rate_limited" (with a
+// Retry-After header), 503 "transient".
+package oracle
+
+// Meta is the response of GET /v1/meta: the node count crawlers need to
+// turn a target fraction into an absolute budget, plus the server's page
+// size so clients can size pagination loops.
+type Meta struct {
+	Nodes    int `json:"nodes"`
+	PageSize int `json:"page_size"`
+}
+
+// NeighborsPage is one page of GET /v1/nodes/{id}/neighbors. Neighbors
+// holds the slice [cursor, cursor+page) of the node's adjacency list in
+// stable server-side order; Degree is the full list's length.
+type NeighborsPage struct {
+	ID        int   `json:"id"`
+	Degree    int   `json:"degree"`
+	Neighbors []int `json:"neighbors"`
+	// NextCursor is the offset of the next page. 0 means this page
+	// completes the list (offset 0 is never a continuation).
+	NextCursor int `json:"next_cursor,omitempty"`
+}
+
+// Error is the JSON body of every non-2xx response.
+type Error struct {
+	Code string `json:"error"`
+}
+
+// Error codes.
+const (
+	ErrCodePrivate     = "private"
+	ErrCodeUnknownNode = "unknown_node"
+	ErrCodeBadRequest  = "bad_request"
+	ErrCodeRateLimited = "rate_limited"
+	ErrCodeTransient   = "transient"
+)

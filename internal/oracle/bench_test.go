@@ -1,0 +1,94 @@
+package oracle
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"sgr/internal/sampling"
+)
+
+// benchClient dials ts with production-like retry settings.
+func benchClient(b *testing.B, ts *httptest.Server) *Client {
+	b.Helper()
+	c, err := NewClient(ClientConfig{BaseURL: ts.URL})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkOracleNeighbors measures raw query throughput through the full
+// stack — client, HTTP round trip, server, JSON both ways — on a fault-free
+// oracle. Each iteration fetches a previously unseen node (a fresh client
+// is cut in whenever the graph is exhausted), so the cache never flatters
+// the number.
+func BenchmarkOracleNeighbors(b *testing.B) {
+	g := testGraph(b)
+	_, ts := startServer(b, g, ServerConfig{})
+	client := benchClient(b, ts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%g.N() == 0 && i > 0 {
+			client.Close()
+			client = benchClient(b, ts)
+		}
+		if _, err := client.Neighbors(i % g.N()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	client.Close()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkOracleCrawl measures a complete remote random-walk crawl (10%
+// of a 400-node graph) per iteration, cold cache each time — the
+// end-to-end unit a paper run is built from.
+func BenchmarkOracleCrawl(b *testing.B) {
+	g := testGraph(b)
+	_, ts := startServer(b, g, ServerConfig{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		client := benchClient(b, ts)
+		if _, err := sampling.RandomWalk(client, 17, 0.10, walkRNG(11)); err != nil {
+			b.Fatalf("%v (client: %v)", err, client.Err())
+		}
+		client.Close()
+	}
+}
+
+// BenchmarkOracleConcurrentCrawlers measures aggregate throughput with 8
+// crawlers sharing one server, the acceptance-criteria load shape.
+func BenchmarkOracleConcurrentCrawlers(b *testing.B) {
+	g := testGraph(b)
+	_, ts := startServer(b, g, ServerConfig{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		const crawlers = 8
+		errc := make(chan error, crawlers)
+		for w := 0; w < crawlers; w++ {
+			go func(w int) {
+				client, err := NewClient(ClientConfig{
+					BaseURL: ts.URL,
+					APIKey:  fmt.Sprintf("bench-%d", w),
+				})
+				if err != nil {
+					errc <- err
+					return
+				}
+				defer client.Close()
+				_, err = sampling.RandomWalk(client, (w*37)%g.N(), 0.10, walkRNG(uint64(w)))
+				errc <- err
+			}(w)
+		}
+		for w := 0; w < crawlers; w++ {
+			if err := <-errc; err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,384 @@
+package oracle
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sgr/internal/sampling"
+)
+
+// Client implements the paper's access model over the wire.
+var _ sampling.Access = (*Client)(nil)
+
+// ClientConfig configures a Client. Only BaseURL is required.
+type ClientConfig struct {
+	// BaseURL is the graphd root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// APIKey, when set, is sent as X-API-Key — the server's rate-limit
+	// identity. Distinct crawlers should use distinct keys.
+	APIKey string
+	// MaxRetries bounds retries per HTTP request (beyond the first
+	// attempt) on 429/5xx/transport errors. Default 8.
+	MaxRetries int
+	// BaseBackoff is the first retry delay, doubling per attempt up to
+	// MaxBackoff. A 429's Retry-After header overrides the schedule.
+	// Defaults 100ms and 5s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// RequestTimeout caps each HTTP attempt when HTTPClient is unset
+	// (default 30s), so a black-holed connection fails into the retry
+	// machinery instead of hanging the crawl. Ignored when HTTPClient is
+	// provided — set the custom client's own Timeout.
+	RequestTimeout time.Duration
+	// HTTPClient overrides the transport (default: a client with
+	// RequestTimeout).
+	HTTPClient *http.Client
+	// JournalPath, when set, opens a crawl journal there: every answered
+	// query is persisted before use, and answers already journaled are
+	// replayed from disk instead of the wire, so an interrupted crawl
+	// rerun with the same seed resumes without re-spending budget.
+	JournalPath string
+}
+
+// Client speaks the oracle wire protocol and implements sampling.Access,
+// so every crawler in the repository runs unchanged against a remote
+// graphd. It is safe for concurrent use by many goroutines (the acceptance
+// bar is 8+ concurrent crawlers): identical in-flight queries are
+// deduplicated onto one HTTP fetch, and completed answers are cached for
+// the client's lifetime — matching the access model's static-graph view.
+type Client struct {
+	cfg     ClientConfig
+	httpc   *http.Client
+	baseURL string
+	meta    Meta
+	journal *Journal
+
+	mu    sync.Mutex
+	cache map[int]*entry
+
+	errMu    sync.Mutex
+	firstErr error
+
+	nodesFetched atomic.Int64 // nodes answered over the wire (budget spent)
+	requests     atomic.Int64 // HTTP attempts issued, including retries
+	privateSeen  atomic.Int64 // private answers observed (wire or journal)
+	sleep        func(time.Duration)
+}
+
+// entry is one node's cache slot. done closes when nb/private/err are
+// final; waiters block on it, so one fetch serves every concurrent caller.
+type entry struct {
+	done    chan struct{}
+	nb      []int
+	private bool
+	err     error
+}
+
+// errPrivateNode marks a 403 "private" answer internally; callers see a
+// nil neighbor list with no error, per sampling.PrivateAccess semantics.
+var errPrivateNode = errors.New("private node")
+
+// NewClient connects to a graphd, fetching /v1/meta (with retries) and
+// replaying the journal when configured. Close releases the journal.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("oracle: ClientConfig.BaseURL is required")
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 8
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	c := &Client{
+		cfg:     cfg,
+		httpc:   cfg.HTTPClient,
+		baseURL: strings.TrimRight(cfg.BaseURL, "/"),
+		cache:   make(map[int]*entry),
+		sleep:   time.Sleep,
+	}
+	if c.httpc == nil {
+		c.httpc = &http.Client{Timeout: cfg.RequestTimeout}
+	}
+	if err := c.getJSON(c.baseURL+"/v1/meta", &c.meta); err != nil {
+		return nil, fmt.Errorf("oracle: fetching meta from %s: %w", cfg.BaseURL, err)
+	}
+	if c.meta.Nodes <= 0 {
+		return nil, fmt.Errorf("oracle: server reports %d nodes", c.meta.Nodes)
+	}
+	if cfg.JournalPath != "" {
+		j, entries, _, err := OpenJournal(cfg.JournalPath, c.meta.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		c.journal = j
+		for _, je := range entries {
+			e := &entry{done: make(chan struct{}), nb: je.Neighbors, private: je.Private}
+			close(e.done)
+			c.cache[je.U] = e
+			if je.Private {
+				c.privateSeen.Add(1)
+			}
+		}
+	}
+	return c, nil
+}
+
+// Close releases the journal, if any.
+func (c *Client) Close() error {
+	if c.journal == nil {
+		return nil
+	}
+	return c.journal.Close()
+}
+
+// NumNodes implements sampling.Access from the cached /v1/meta answer.
+func (c *Client) NumNodes() int { return c.meta.Nodes }
+
+// PageSize reports the server's pagination unit.
+func (c *Client) PageSize() int { return c.meta.PageSize }
+
+// NodesFetched reports how many node answers were paid for over the wire
+// (journal replays and cache hits are free).
+func (c *Client) NodesFetched() int64 { return c.nodesFetched.Load() }
+
+// Requests reports HTTP attempts issued, including retries and pagination.
+func (c *Client) Requests() int64 { return c.requests.Load() }
+
+// PrivateSeen reports how many queried nodes answered private (over the
+// wire or replayed from the journal). Crawl drivers use it to explain
+// walks that die on hidden neighbor lists.
+func (c *Client) PrivateSeen() int64 { return c.privateSeen.Load() }
+
+// Err returns the first hard failure (retries exhausted, protocol error)
+// the client has hit. NeighborsOf cannot return an error through
+// sampling.Access, so crawl drivers must check Err after a failed crawl to
+// distinguish network death from a genuinely stuck walk.
+func (c *Client) Err() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.firstErr
+}
+
+// IsPrivate reports whether a *previously queried* node answered 403
+// private. Unqueried nodes report false — privacy over the wire is only
+// observable by spending the query, unlike sampling.PrivateAccess.
+func (c *Client) IsPrivate(u int) bool {
+	c.mu.Lock()
+	e, ok := c.cache[u]
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	<-e.done
+	return e.private
+}
+
+// NeighborsOf implements sampling.Access. Private nodes and hard failures
+// both yield nil; Err distinguishes them.
+func (c *Client) NeighborsOf(u int) []int {
+	nb, _ := c.Neighbors(u)
+	return nb
+}
+
+// Neighbors returns u's full neighbor list, reassembled across pages, in
+// the server's stable order. Concurrent calls for the same node share one
+// fetch; completed answers are served from cache.
+func (c *Client) Neighbors(u int) ([]int, error) {
+	c.mu.Lock()
+	if e, ok := c.cache[u]; ok {
+		c.mu.Unlock()
+		<-e.done
+		return e.nb, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	c.cache[u] = e
+	c.mu.Unlock()
+
+	nb, err := c.fetchNode(u)
+	switch {
+	case errors.Is(err, errPrivateNode):
+		// A private answer still spends the query (the server charged the
+		// request), it just yields no data.
+		e.private = true
+		c.nodesFetched.Add(1)
+		c.privateSeen.Add(1)
+	case err != nil:
+		e.err = err
+		c.recordErr(err)
+	default:
+		e.nb = nb
+		c.nodesFetched.Add(1)
+	}
+	if c.journal != nil && e.err == nil {
+		if jerr := c.journal.Append(u, e.nb, e.private); jerr != nil {
+			e.nb, e.private = nil, false
+			e.err = fmt.Errorf("oracle: journaling node %d: %w", u, jerr)
+			c.recordErr(e.err)
+		}
+	}
+	if e.err != nil {
+		// Only answers are cached. Dropping the failed entry (before
+		// releasing its waiters) lets a later query retry the node once
+		// the outage passes, instead of serving the stale error for the
+		// client's lifetime; Err keeps the first failure for diagnosis.
+		c.mu.Lock()
+		if c.cache[u] == e {
+			delete(c.cache, u)
+		}
+		c.mu.Unlock()
+	}
+	close(e.done)
+	return e.nb, e.err
+}
+
+// RecordWalk appends the completed walk sequence to the journal, turning
+// it into a self-contained crawl for LoadCrawlFromJournal.
+func (c *Client) RecordWalk(walk []int) error {
+	if c.journal == nil {
+		return errors.New("oracle: client has no journal")
+	}
+	return c.journal.AppendWalk(walk)
+}
+
+func (c *Client) recordErr(err error) {
+	c.errMu.Lock()
+	if c.firstErr == nil {
+		c.firstErr = err
+	}
+	c.errMu.Unlock()
+}
+
+// fetchNode reassembles u's neighbor list across pages.
+func (c *Client) fetchNode(u int) ([]int, error) {
+	var nb []int
+	cursor := 0
+	for {
+		var page NeighborsPage
+		url := fmt.Sprintf("%s/v1/nodes/%d/neighbors", c.baseURL, u)
+		if cursor > 0 {
+			url += "?cursor=" + strconv.Itoa(cursor)
+		}
+		if err := c.getJSON(url, &page); err != nil {
+			return nil, fmt.Errorf("oracle: node %d cursor %d: %w", u, cursor, err)
+		}
+		nb = append(nb, page.Neighbors...)
+		if page.NextCursor == 0 {
+			if len(nb) != page.Degree {
+				return nil, fmt.Errorf("oracle: node %d: reassembled %d neighbors, server reports degree %d",
+					u, len(nb), page.Degree)
+			}
+			return nb, nil
+		}
+		if page.NextCursor <= cursor {
+			return nil, fmt.Errorf("oracle: node %d: non-advancing cursor %d", u, page.NextCursor)
+		}
+		cursor = page.NextCursor
+	}
+}
+
+// getJSON issues one GET with bounded retries and exponential backoff,
+// decoding a 200 body into out. 429 (honoring Retry-After), any 5xx, and
+// transport errors retry; 4xx protocol errors are permanent.
+func (c *Client) getJSON(url string, out any) error {
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			c.sleep(c.backoff(attempt, lastErr))
+		}
+		c.requests.Add(1)
+		resp, err := c.doGet(url)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			if err := json.Unmarshal(body, out); err != nil {
+				return fmt.Errorf("decoding response: %w", err)
+			}
+			return nil
+		case resp.StatusCode == http.StatusForbidden && errCode(body) == ErrCodePrivate:
+			return errPrivateNode
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+			lastErr = &retriableStatus{status: resp.StatusCode, retryAfter: parseRetryAfter(resp)}
+			continue
+		default:
+			return fmt.Errorf("HTTP %d (%s)", resp.StatusCode, errCode(body))
+		}
+	}
+	return fmt.Errorf("giving up after %d attempts: %w", c.cfg.MaxRetries+1, lastErr)
+}
+
+func (c *Client) doGet(url string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.cfg.APIKey != "" {
+		req.Header.Set("X-API-Key", c.cfg.APIKey)
+	}
+	return c.httpc.Do(req)
+}
+
+// retriableStatus carries a retry-worthy HTTP status and the server's
+// Retry-After hint (0 when absent).
+type retriableStatus struct {
+	status     int
+	retryAfter time.Duration
+}
+
+func (e *retriableStatus) Error() string { return fmt.Sprintf("HTTP %d", e.status) }
+
+// backoff returns the delay before retry number attempt (1-based): the
+// server's Retry-After when the last failure carried one, else
+// BaseBackoff doubled per attempt and capped at MaxBackoff.
+func (c *Client) backoff(attempt int, lastErr error) time.Duration {
+	var rs *retriableStatus
+	if errors.As(lastErr, &rs) && rs.retryAfter > 0 {
+		return rs.retryAfter
+	}
+	d := c.cfg.BaseBackoff << (attempt - 1)
+	if d > c.cfg.MaxBackoff || d <= 0 {
+		d = c.cfg.MaxBackoff
+	}
+	return d
+}
+
+// parseRetryAfter reads Retry-After as (possibly fractional) seconds; 0
+// means absent or unparseable and falls back to the backoff schedule.
+func parseRetryAfter(resp *http.Response) time.Duration {
+	s, err := strconv.ParseFloat(resp.Header.Get("Retry-After"), 64)
+	if err != nil || s <= 0 {
+		return 0
+	}
+	return time.Duration(s * float64(time.Second))
+}
+
+func errCode(body []byte) string {
+	var e Error
+	if json.Unmarshal(body, &e) != nil || e.Code == "" {
+		return "unknown error"
+	}
+	return e.Code
+}

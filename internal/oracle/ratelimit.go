@@ -1,0 +1,66 @@
+package oracle
+
+import (
+	"sync"
+	"time"
+)
+
+// Limiter is a per-key token-bucket rate limiter: each key (one API client)
+// gets its own bucket holding up to burst tokens, refilled at rate tokens
+// per second. A rate <= 0 disables limiting entirely.
+type Limiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter builds a limiter; burst < 1 is clamped to 1 so a fresh bucket
+// can always serve at least one request.
+func NewLimiter(rate float64, burst int) *Limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &Limiter{rate: rate, burst: float64(burst), buckets: make(map[string]*bucket)}
+}
+
+// Allow takes one token from key's bucket at time now. When the bucket is
+// empty it reports false together with the duration after which a retry
+// would succeed.
+func (l *Limiter) Allow(key string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, exists := l.buckets[key]
+	if !exists {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}
+
+// Clients reports how many distinct keys have hit the limiter.
+func (l *Limiter) Clients() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}

@@ -1,0 +1,75 @@
+package oracle
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLimiterBurstThenRefill(t *testing.T) {
+	l := NewLimiter(2, 3) // 2 tokens/s, burst 3
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("a", t0); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, retry := l.Allow("a", t0)
+	if ok {
+		t.Fatal("4th immediate request must be denied")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retryAfter = %v, want within (0, 500ms]-ish", retry)
+	}
+	// After the advertised wait, exactly one token is back.
+	t1 := t0.Add(retry)
+	if ok, _ := l.Allow("a", t1); !ok {
+		t.Fatal("request after retryAfter denied")
+	}
+	if ok, _ := l.Allow("a", t1); ok {
+		t.Fatal("second request after retryAfter must be denied")
+	}
+}
+
+func TestLimiterPerKeyIsolation(t *testing.T) {
+	l := NewLimiter(1, 1)
+	t0 := time.Unix(1000, 0)
+	if ok, _ := l.Allow("a", t0); !ok {
+		t.Fatal("a's first request denied")
+	}
+	if ok, _ := l.Allow("a", t0); ok {
+		t.Fatal("a's second request allowed")
+	}
+	// b has its own bucket, untouched by a's spending.
+	if ok, _ := l.Allow("b", t0); !ok {
+		t.Fatal("b's first request denied")
+	}
+	if l.Clients() != 2 {
+		t.Fatalf("Clients() = %d, want 2", l.Clients())
+	}
+}
+
+func TestLimiterCapsAtBurst(t *testing.T) {
+	l := NewLimiter(1000, 2)
+	t0 := time.Unix(1000, 0)
+	l.Allow("a", t0)
+	// A long idle period must not bank more than burst tokens.
+	t1 := t0.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("a", t1); !ok {
+			t.Fatalf("banked request %d denied", i)
+		}
+	}
+	if ok, _ := l.Allow("a", t1); ok {
+		t.Fatal("3rd request at the same instant must be denied (burst=2)")
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	l := NewLimiter(0, 1)
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.Allow("a", t0); !ok {
+			t.Fatal("disabled limiter denied a request")
+		}
+	}
+}

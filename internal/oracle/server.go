@@ -1,0 +1,215 @@
+package oracle
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sgr/internal/graph"
+)
+
+// DefaultPageSize bounds how many neighbors one response carries when
+// ServerConfig.PageSize is unset. Hub nodes above it paginate.
+const DefaultPageSize = 1024
+
+// ServerConfig tunes the served access model and its injected failure
+// modes. The zero value serves an honest, unlimited, fault-free API.
+type ServerConfig struct {
+	// PageSize is the maximum neighbors per response (default
+	// DefaultPageSize).
+	PageSize int
+	// Rate is the per-client request rate in tokens/second (<= 0 means
+	// unlimited) and Burst the bucket depth. Clients are keyed by the
+	// X-API-Key header, falling back to the remote host.
+	Rate  float64
+	Burst int
+	// Latency is added to every request, plus a uniform draw from
+	// [0, Jitter).
+	Latency time.Duration
+	Jitter  time.Duration
+	// ErrorRate is the probability of answering a request with an injected
+	// 503 instead of serving it; FaultSeed seeds the fault stream.
+	ErrorRate float64
+	FaultSeed uint64
+	// Private lists node ids whose neighbor lists are hidden: querying
+	// them costs the request but yields 403 "private", mirroring
+	// sampling.PrivateAccess semantics.
+	Private []int
+}
+
+// Server serves a hidden graph through the oracle wire protocol. It is
+// safe for concurrent use; the graph must not be mutated while serving.
+type Server struct {
+	g       *graph.Graph
+	cfg     ServerConfig
+	private map[int]struct{}
+	limiter *Limiter
+
+	faultMu  sync.Mutex
+	faultRng *rand.Rand
+
+	queries     atomic.Int64 // neighbor pages served with 200
+	rateLimited atomic.Int64 // 429s issued
+	faulted     atomic.Int64 // injected 503s
+
+	// now and sleep are swappable in tests.
+	now   func() time.Time
+	sleep func(time.Duration)
+}
+
+// NewServer wraps g.
+func NewServer(g *graph.Graph, cfg ServerConfig) *Server {
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = DefaultPageSize
+	}
+	s := &Server{
+		g:        g,
+		cfg:      cfg,
+		private:  make(map[int]struct{}, len(cfg.Private)),
+		limiter:  NewLimiter(cfg.Rate, cfg.Burst),
+		faultRng: rand.New(rand.NewPCG(cfg.FaultSeed, cfg.FaultSeed^0x94d049bb133111eb)),
+		now:      time.Now,
+		sleep:    time.Sleep,
+	}
+	for _, u := range cfg.Private {
+		s.private[u] = struct{}{}
+	}
+	return s
+}
+
+// QueriesServed reports neighbor pages answered with 200 — the budget the
+// server has handed out.
+func (s *Server) QueriesServed() int64 { return s.queries.Load() }
+
+// RateLimited reports how many requests were answered 429.
+func (s *Server) RateLimited() int64 { return s.rateLimited.Load() }
+
+// Faulted reports how many injected 503s were served.
+func (s *Server) Faulted() int64 { return s.faulted.Load() }
+
+// Handler returns the HTTP handler implementing the wire protocol.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/meta", s.handleMeta)
+	mux.HandleFunc("GET /v1/nodes/{id}/neighbors", s.handleNeighbors)
+	return mux
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	s.injectLatency()
+	writeJSON(w, http.StatusOK, Meta{Nodes: s.g.N(), PageSize: s.cfg.PageSize})
+}
+
+func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	if ok, retryAfter := s.limiter.Allow(clientKey(r), s.now()); !ok {
+		s.rateLimited.Add(1)
+		w.Header().Set("Retry-After", retryAfterValue(retryAfter))
+		writeJSON(w, http.StatusTooManyRequests, Error{Code: ErrCodeRateLimited})
+		return
+	}
+	s.injectLatency()
+	if s.injectFault() {
+		s.faulted.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, Error{Code: ErrCodeTransient})
+		return
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, Error{Code: ErrCodeBadRequest})
+		return
+	}
+	if id < 0 || id >= s.g.N() {
+		writeJSON(w, http.StatusNotFound, Error{Code: ErrCodeUnknownNode})
+		return
+	}
+	if _, hidden := s.private[id]; hidden {
+		writeJSON(w, http.StatusForbidden, Error{Code: ErrCodePrivate})
+		return
+	}
+	cursor := 0
+	if c := r.URL.Query().Get("cursor"); c != "" {
+		cursor, err = strconv.Atoi(c)
+		if err != nil || cursor < 0 {
+			writeJSON(w, http.StatusBadRequest, Error{Code: ErrCodeBadRequest})
+			return
+		}
+	}
+	nb := s.g.Neighbors(id)
+	if cursor > len(nb) {
+		writeJSON(w, http.StatusBadRequest, Error{Code: ErrCodeBadRequest})
+		return
+	}
+	end := cursor + s.cfg.PageSize
+	page := NeighborsPage{ID: id, Degree: len(nb)}
+	if end >= len(nb) {
+		end = len(nb)
+	} else {
+		page.NextCursor = end
+	}
+	// Copy the slice so the JSON encoder never aliases live adjacency.
+	page.Neighbors = append([]int{}, nb[cursor:end]...)
+	s.queries.Add(1)
+	writeJSON(w, http.StatusOK, page)
+}
+
+// injectLatency sleeps the configured base latency plus uniform jitter.
+func (s *Server) injectLatency() {
+	d := s.cfg.Latency
+	if s.cfg.Jitter > 0 {
+		s.faultMu.Lock()
+		d += time.Duration(s.faultRng.Int64N(int64(s.cfg.Jitter)))
+		s.faultMu.Unlock()
+	}
+	if d > 0 {
+		s.sleep(d)
+	}
+}
+
+// injectFault draws from the fault stream and reports whether this request
+// should fail with a transient 503.
+func (s *Server) injectFault() bool {
+	if s.cfg.ErrorRate <= 0 {
+		return false
+	}
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	return s.faultRng.Float64() < s.cfg.ErrorRate
+}
+
+// clientKey identifies the requester for rate limiting: the X-API-Key
+// header when present, else the remote host.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// retryAfterValue renders a Retry-After header in fractional seconds with
+// millisecond resolution. RFC 9110 specifies integer seconds, but a
+// token-bucket deficit is usually a few milliseconds and rounding up to 1s
+// would stall honest clients 100x too long; oracle.Client parses either
+// form, and integer-only parsers still reject rather than misread it.
+func retryAfterValue(d time.Duration) string {
+	ms := math.Ceil(float64(d) / float64(time.Millisecond))
+	if ms < 1 {
+		ms = 1
+	}
+	return strconv.FormatFloat(ms/1000, 'f', 3, 64)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,208 @@
+package oracle
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"sgr/internal/gen"
+	"sgr/internal/graph"
+)
+
+// testGraph is a small scale-free graph with hubs big enough to paginate.
+func testGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	return gen.HolmeKim(400, 3, 0.5, rand.New(rand.NewPCG(7, 8)))
+}
+
+// startServer boots a Server on an httptest listener.
+func startServer(t testing.TB, g *graph.Graph, cfg ServerConfig) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := NewServer(g, cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// getAs GETs url and decodes the JSON body into out, returning the status.
+func getAs(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decoding: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestServerMeta(t *testing.T) {
+	g := testGraph(t)
+	_, ts := startServer(t, g, ServerConfig{PageSize: 64})
+	var m Meta
+	if code := getAs(t, ts.URL+"/v1/meta", &m); code != http.StatusOK {
+		t.Fatalf("meta status %d", code)
+	}
+	if m.Nodes != g.N() || m.PageSize != 64 {
+		t.Fatalf("meta = %+v, want nodes=%d page_size=64", m, g.N())
+	}
+}
+
+func TestServerNeighborsOrderAndErrors(t *testing.T) {
+	g := testGraph(t)
+	_, ts := startServer(t, g, ServerConfig{})
+	var page NeighborsPage
+	if code := getAs(t, fmt.Sprintf("%s/v1/nodes/%d/neighbors", ts.URL, 5), &page); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	want := g.Neighbors(5)
+	if page.Degree != len(want) || len(page.Neighbors) != len(want) {
+		t.Fatalf("degree %d, %d neighbors; want %d", page.Degree, len(page.Neighbors), len(want))
+	}
+	for i, v := range want {
+		if page.Neighbors[i] != v {
+			t.Fatalf("neighbor order diverges at %d: got %d want %d", i, page.Neighbors[i], v)
+		}
+	}
+
+	var e Error
+	if code := getAs(t, fmt.Sprintf("%s/v1/nodes/%d/neighbors", ts.URL, g.N()), &e); code != http.StatusNotFound || e.Code != ErrCodeUnknownNode {
+		t.Fatalf("unknown node: status %d code %q", code, e.Code)
+	}
+	if code := getAs(t, ts.URL+"/v1/nodes/nope/neighbors", &e); code != http.StatusBadRequest {
+		t.Fatalf("bad id: status %d", code)
+	}
+	if code := getAs(t, ts.URL+"/v1/nodes/5/neighbors?cursor=-1", &e); code != http.StatusBadRequest {
+		t.Fatalf("bad cursor: status %d", code)
+	}
+	if code := getAs(t, ts.URL+"/v1/nodes/5/neighbors?cursor=99999", &e); code != http.StatusBadRequest {
+		t.Fatalf("past-end cursor: status %d", code)
+	}
+}
+
+func TestServerPagination(t *testing.T) {
+	g := testGraph(t)
+	// Find the max-degree node and page through it 3 neighbors at a time.
+	hub := 0
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(u) > g.Degree(hub) {
+			hub = u
+		}
+	}
+	if g.Degree(hub) < 7 {
+		t.Fatalf("test graph hub degree %d too small to paginate", g.Degree(hub))
+	}
+	_, ts := startServer(t, g, ServerConfig{PageSize: 3})
+	var got []int
+	cursor, pages := 0, 0
+	for {
+		url := fmt.Sprintf("%s/v1/nodes/%d/neighbors?cursor=%d", ts.URL, hub, cursor)
+		var page NeighborsPage
+		if code := getAs(t, url, &page); code != http.StatusOK {
+			t.Fatalf("page at cursor %d: status %d", cursor, code)
+		}
+		if len(page.Neighbors) > 3 {
+			t.Fatalf("page holds %d neighbors, cap is 3", len(page.Neighbors))
+		}
+		got = append(got, page.Neighbors...)
+		pages++
+		if page.NextCursor == 0 {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	want := g.Neighbors(hub)
+	if pages < 3 {
+		t.Fatalf("hub of degree %d served in %d pages", len(want), pages)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("reassembled %d neighbors, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("paginated order diverges at %d", i)
+		}
+	}
+}
+
+func TestServerPrivateNodes(t *testing.T) {
+	g := testGraph(t)
+	_, ts := startServer(t, g, ServerConfig{Private: []int{3, 9}})
+	var e Error
+	if code := getAs(t, ts.URL+"/v1/nodes/3/neighbors", &e); code != http.StatusForbidden || e.Code != ErrCodePrivate {
+		t.Fatalf("private node: status %d code %q", code, e.Code)
+	}
+	var page NeighborsPage
+	if code := getAs(t, ts.URL+"/v1/nodes/4/neighbors", &page); code != http.StatusOK {
+		t.Fatalf("public node: status %d", code)
+	}
+}
+
+func TestServerRateLimitPerClient(t *testing.T) {
+	g := testGraph(t)
+	srv, ts := startServer(t, g, ServerConfig{Rate: 0.001, Burst: 2})
+	// Freeze time so the bucket never refills during the test.
+	now := time.Unix(5000, 0)
+	srv.now = func() time.Time { return now }
+
+	get := func(key string) (int, string) {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/nodes/1/neighbors", nil)
+		req.Header.Set("X-API-Key", key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode, resp.Header.Get("Retry-After")
+	}
+	for i := 0; i < 2; i++ {
+		if code, _ := get("alice"); code != http.StatusOK {
+			t.Fatalf("alice burst request %d: status %d", i, code)
+		}
+	}
+	code, retryAfter := get("alice")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("alice over burst: status %d, want 429", code)
+	}
+	if retryAfter == "" {
+		t.Fatal("429 must carry Retry-After")
+	}
+	// bob is a different client and still has his full burst.
+	if code, _ := get("bob"); code != http.StatusOK {
+		t.Fatalf("bob: status %d", code)
+	}
+	if srv.RateLimited() != 1 {
+		t.Fatalf("RateLimited() = %d, want 1", srv.RateLimited())
+	}
+}
+
+func TestServerInjectedFaults(t *testing.T) {
+	g := testGraph(t)
+	srv, ts := startServer(t, g, ServerConfig{ErrorRate: 0.5, FaultSeed: 42})
+	got200, got503 := 0, 0
+	for i := 0; i < 60; i++ {
+		var out json.RawMessage
+		switch code := getAs(t, ts.URL+"/v1/nodes/1/neighbors", &out); code {
+		case http.StatusOK:
+			got200++
+		case http.StatusServiceUnavailable:
+			got503++
+		default:
+			t.Fatalf("unexpected status %d", code)
+		}
+	}
+	if got503 == 0 || got200 == 0 {
+		t.Fatalf("error-rate 0.5 over 60 requests: %d ok, %d injected", got200, got503)
+	}
+	if srv.Faulted() != int64(got503) {
+		t.Fatalf("Faulted() = %d, observed %d", srv.Faulted(), got503)
+	}
+}

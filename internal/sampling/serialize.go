@@ -50,20 +50,38 @@ func ReadCrawlJSON(r io.Reader) (*Crawl, error) {
 	if in.Version != crawlFormatVersion {
 		return nil, fmt.Errorf("sampling: unsupported crawl format version %d", in.Version)
 	}
-	if len(in.Queried) != len(in.Neighbors) {
+	return NewCrawl(in.Queried, in.Neighbors, in.Walk)
+}
+
+// NewCrawl assembles a Crawl from parallel queried/neighbor-list slices
+// plus an optional walk, enforcing every Crawl invariant: list lengths
+// align, node and neighbor ids are non-negative, no node is queried
+// twice, and the walk only visits queried nodes. It is the single
+// validator behind both offline-crawl entry points (crawl JSON files and
+// oracle crawl journals), so they accept exactly the same shapes.
+func NewCrawl(queried []int, neighbors [][]int, walk []int) (*Crawl, error) {
+	if len(queried) != len(neighbors) {
 		return nil, fmt.Errorf("sampling: %d queried nodes but %d neighbor lists",
-			len(in.Queried), len(in.Neighbors))
+			len(queried), len(neighbors))
 	}
 	c := &Crawl{
-		Queried:   in.Queried,
-		Neighbors: make(map[int][]int, len(in.Queried)),
-		Walk:      in.Walk,
+		Queried:   queried,
+		Neighbors: make(map[int][]int, len(queried)),
+		Walk:      walk,
 	}
-	for i, u := range in.Queried {
+	for i, u := range queried {
+		if u < 0 {
+			return nil, fmt.Errorf("sampling: negative queried node id %d at index %d", u, i)
+		}
 		if _, dup := c.Neighbors[u]; dup {
 			return nil, fmt.Errorf("sampling: node %d queried twice", u)
 		}
-		c.Neighbors[u] = in.Neighbors[i]
+		for _, v := range neighbors[i] {
+			if v < 0 {
+				return nil, fmt.Errorf("sampling: node %d has negative neighbor id %d", u, v)
+			}
+		}
+		c.Neighbors[u] = neighbors[i]
 	}
 	for _, u := range c.Walk {
 		if _, ok := c.Neighbors[u]; !ok {

@@ -1,0 +1,63 @@
+package sampling
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCrawlJSON feeds arbitrary bytes — seeded with a valid crawl and
+// the malformations the validator must reject — through the crawl-file
+// decoder. The decoder may error but must never panic, and anything it
+// accepts must uphold the Crawl invariants and survive a write/read
+// round trip.
+func FuzzReadCrawlJSON(f *testing.F) {
+	f.Add([]byte(`{"version":1,"queried":[3,1],"neighbors":[[1],[3]],"walk":[3,1,3]}`))
+	f.Add([]byte(`{"version":2,"queried":[],"neighbors":[]}`))                 // unknown version
+	f.Add([]byte(`{"version":1,"queried":[1,2],"neighbors":[[2]]}`))           // length mismatch
+	f.Add([]byte(`{"version":1,"queried":[1,1],"neighbors":[[2],[2]]}`))       // duplicate node
+	f.Add([]byte(`{"version":1,"queried":[1],"neighbors":[[2]],"walk":[9]}`))  // walk off-list
+	f.Add([]byte(`{"version":1,"queried":[-4],"neighbors":[[2]]}`))            // negative id
+	f.Add([]byte(`{"version":1,"queried":[4],"neighbors":[[-2]]}`))            // negative neighbor
+	f.Add([]byte(`{"version":1,"queried":[4],"neighbors":[[2]],"walk":[4`))    // truncated
+	f.Add([]byte(`{"version":1,"queried":"nope","neighbors":[[2]]}`))          // type confusion
+	f.Add([]byte(`{"version":1,"queried":[0],"neighbors":[null],"walk":[0]}`)) // null list
+	f.Add([]byte(`{"version":1,"queried":[1e9],"neighbors":[[2]],"walk":[]}`)) // huge id
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadCrawlJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted crawls must be internally consistent...
+		if len(c.Queried) != len(c.Neighbors) {
+			t.Fatalf("accepted crawl with %d queried but %d neighbor lists", len(c.Queried), len(c.Neighbors))
+		}
+		for _, u := range c.Queried {
+			if u < 0 {
+				t.Fatalf("accepted negative node id %d", u)
+			}
+			if _, ok := c.Neighbors[u]; !ok {
+				t.Fatalf("queried node %d has no neighbor list", u)
+			}
+		}
+		for _, u := range c.Walk {
+			if _, ok := c.Neighbors[u]; !ok {
+				t.Fatalf("accepted walk through unqueried node %d", u)
+			}
+		}
+		// ...and round-trip: what we write back must read identically.
+		var buf bytes.Buffer
+		if err := c.WriteJSON(&buf); err != nil {
+			t.Fatalf("re-serializing accepted crawl: %v", err)
+		}
+		c2, err := ReadCrawlJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading serialized crawl: %v", err)
+		}
+		if len(c2.Queried) != len(c.Queried) || len(c2.Walk) != len(c.Walk) {
+			t.Fatalf("round trip changed shape: %d/%d queried, %d/%d walk",
+				len(c2.Queried), len(c.Queried), len(c2.Walk), len(c.Walk))
+		}
+	})
+}
