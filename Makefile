@@ -3,10 +3,14 @@
 
 GO      ?= go
 FUZZTIME ?= 10s
-# Iterations per benchmark when recording the BENCH_rewire.json baseline.
+# Iterations per benchmark when recording the committed JSON baselines.
 BENCHTIME ?= 5x
+# The oracle micro-benchmarks run in microseconds, not hundreds of
+# milliseconds, so their baselines need far more iterations to mean
+# anything (queries/s especially).
+ORACLE_BENCHTIME ?= 2000x
 
-.PHONY: build test race bench bench-json bench-oracle-json oracle-e2e lint fuzz ci
+.PHONY: build test race bench bench-json bench-oracle-json bench-props-json oracle-e2e lint fuzz ci
 
 build:
 	$(GO) build ./...
@@ -21,33 +25,36 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-# Record the rewiring-engine perf baseline: BenchmarkRewire (flat adjset
-# engine vs frozen map reference) and BenchmarkRestoreEndToEnd, with
-# allocation stats, as committed JSON. CI uploads the same file as an
-# artifact so the perf trajectory is tracked per commit.
+# record-bench is the one parameterized baseline recipe behind every
+# bench-*-json target: $(call record-bench,<bench command(s)>,<out.json>).
 # The bench output goes through a temp file, not a pipe: a benchmark
 # failure or panic must fail the target instead of letting benchjson
-# record the surviving lines as a green partial baseline.
-bench-json:
+# record the surviving lines as a green partial baseline. CI uploads the
+# produced files as artifacts so the perf trajectory is tracked per commit.
+define record-bench
 	@tmp=$$(mktemp); \
-	$(GO) test -run='^$$' -bench='^(BenchmarkRewire|BenchmarkRestoreEndToEnd)$$' \
-		-benchmem -benchtime=$(BENCHTIME) ./internal/dkseries ./internal/core \
-		> $$tmp || { cat $$tmp; rm -f $$tmp; exit 1; }; \
-	$(GO) run ./cmd/benchjson < $$tmp > BENCH_rewire.json; \
+	{ $(1); } > $$tmp || { cat $$tmp; rm -f $$tmp; exit 1; }; \
+	$(GO) run ./cmd/benchjson < $$tmp > $(2); \
 	rm -f $$tmp; \
-	cat BENCH_rewire.json
+	cat $(2)
+endef
 
-# Record the oracle (graphd HTTP server + resilient client) throughput
-# baseline — raw query rate, full remote crawls, and the 8-concurrent-
-# crawler load shape — as committed JSON, mirroring bench-json.
+# Rewiring-engine perf baseline: BenchmarkRewire (flat adjset engine vs
+# frozen map reference) and BenchmarkRestoreEndToEnd, with allocation stats.
+bench-json:
+	$(call record-bench,$(GO) test -run='^$$' -bench='^(BenchmarkRewire|BenchmarkRestoreEndToEnd)$$' -benchmem -benchtime=$(BENCHTIME) ./internal/dkseries ./internal/core,BENCH_rewire.json)
+
+# Oracle (graphd HTTP server + resilient client) throughput baseline — raw
+# query rate, full remote crawls, and the 8-concurrent-crawler load shape.
 bench-oracle-json:
-	@tmp=$$(mktemp); \
-	$(GO) test -run='^$$' -bench='^BenchmarkOracle' \
-		-benchmem -benchtime=$(BENCHTIME) ./internal/oracle \
-		> $$tmp || { cat $$tmp; rm -f $$tmp; exit 1; }; \
-	$(GO) run ./cmd/benchjson < $$tmp > BENCH_oracle.json; \
-	rm -f $$tmp; \
-	cat BENCH_oracle.json
+	$(call record-bench,$(GO) test -run='^$$' -bench='^Benchmark(OracleNeighbors$$|OracleCrawl|OracleConcurrentCrawlers)' -benchmem -benchtime=$(ORACLE_BENCHTIME) ./internal/oracle,BENCH_oracle.json)
+
+# Read-path (CSR snapshot) perf baseline: full property computation in
+# exact and pivot mode against the frozen pre-CSR pipeline, Brandes over
+# all sources, and the oracle's serving rate before/after the CSR page
+# path plus the batched-vs-single BFS crawl split.
+bench-props-json:
+	$(call record-bench,$(GO) test -run='^$$' -bench='^(BenchmarkComputeAll|BenchmarkBrandesAllSources)' -benchmem -benchtime=$(BENCHTIME) ./internal/props && $(GO) test -run='^$$' -bench='^(BenchmarkOracleNeighbors|BenchmarkServerNeighborsHandler|BenchmarkOracleBFSCrawl)' -benchmem -benchtime=$(ORACLE_BENCHTIME) ./internal/oracle,BENCH_props.json)
 
 # Client/server acceptance gate: boot graphd on a random port with
 # injected faults, crawl it over HTTP under -race, require byte-identical

@@ -16,6 +16,7 @@ import (
 
 	"sgr/internal/graph"
 	"sgr/internal/metrics"
+	"sgr/internal/prof"
 	"sgr/internal/props"
 )
 
@@ -27,11 +28,17 @@ func main() {
 		against = flag.String("against", "", "original graph for L1 comparison")
 		exact   = flag.Int("exact", 20000, "max component size for exact path properties")
 		pivots  = flag.Int("pivots", 1000, "BFS/Brandes pivots above the exact threshold")
+		pf      = prof.AddFlags()
 	)
 	flag.Parse()
 	if *path == "" {
 		log.Fatal("-graph is required")
 	}
+	stopProf, err := pf.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 	g, _, err := graph.LoadEdgeList(*path)
 	if err != nil {
 		log.Fatal(err)

@@ -21,6 +21,7 @@ import (
 	"sgr/internal/metrics"
 	"sgr/internal/oracle"
 	"sgr/internal/parallel"
+	"sgr/internal/prof"
 	"sgr/internal/props"
 	"sgr/internal/sampling"
 )
@@ -42,12 +43,18 @@ func main() {
 		compare  = flag.Bool("compare", true, "compute the 12-property L1 comparison")
 		workers  = flag.Int("workers", parallel.DefaultWorkers(),
 			"worker bound for the property-comparison loops (deterministic for a fixed value)")
+		pf = prof.AddFlags()
 	)
 	flag.Parse()
 
 	if *crawlIn != "" && *journal != "" {
 		log.Fatal("-crawl and -journal are mutually exclusive")
 	}
+	stopProf, err := pf.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 	r := rand.New(rand.NewPCG(*seed, *seed^0xc2b2ae35))
 	var g *graph.Graph
 	switch {
@@ -76,7 +83,6 @@ func main() {
 	}
 
 	var crawl *sampling.Crawl
-	var err error
 	switch {
 	case *crawlIn != "":
 		crawl, err = sampling.LoadCrawl(*crawlIn)

@@ -58,4 +58,20 @@
 // is differentially tested byte-for-byte against the original map-based
 // implementation, and `make bench-json` records its perf baseline in
 // BENCH_rewire.json (see README.md, "The adjset engine").
+//
+// The read side runs on graph.CSR, an immutable int32 compressed-sparse-
+// row snapshot cached next to Index() and invalidated by every mutator:
+// one endpoint view in original adjacency order (served zero-copy as
+// oracle neighbor pages) and one sorted distinct-neighbor/multiplicity
+// view whose rows make triangle and shared-partner counting a linear
+// sorted-merge intersection. All twelve evaluated properties, the
+// D-measure, and the oracle server share one snapshot per graph;
+// harness.Evaluate builds it once before its cells fan out. The oracle
+// additionally exposes a batched GET /v1/neighbors?ids=... endpoint that
+// oracle.Client.Prefetch drives for BFS-frontier crawls — byte-identical
+// crawls and budgets, a fraction of the round trips. Every rewritten
+// props function is pinned bit-for-bit to its frozen pre-CSR reference
+// (internal/props/csrdiff_test.go), and `make bench-props-json` records
+// the read-path baseline in BENCH_props.json (see README.md, "The read
+// path: CSR snapshots").
 package sgr

@@ -108,10 +108,11 @@ func Build(base *graph.Graph, baseTargetDeg []int, dv DegreeVector, jdm *JDM, r 
 		halves[k] = h[:len(h)-1]
 		return u, nil
 	}
-	keys := make([][2]int, 0, len(jdm.Cells()))
-	for ky := range jdm.Cells() {
-		keys = append(keys, ky)
-	}
+	keys := make([][2]int, 0, jdm.NumCells())
+	jdm.IterCells(func(k, kp, _ int) bool {
+		keys = append(keys, [2]int{k, kp})
+		return true
+	})
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i][0] != keys[j][0] {
 			return keys[i][0] < keys[j][0]

@@ -143,6 +143,9 @@ func (j *JDM) Add(k, kp, delta int) {
 // RowSum returns s(k) = sum_k' mu(k,k') m(k,k').
 func (j *JDM) RowSum(k int) int { return j.row[k] }
 
+// NumCells returns the number of nonzero canonical entries.
+func (j *JDM) NumCells() int { return len(j.cells) }
+
 // TotalEdges returns sum_{k<=k'} m(k,k').
 func (j *JDM) TotalEdges() int {
 	s := 0
@@ -152,8 +155,28 @@ func (j *JDM) TotalEdges() int {
 	return s
 }
 
-// Cells returns the nonzero canonical entries (shared map: do not mutate).
-func (j *JDM) Cells() map[[2]int]int { return j.cells }
+// Cells returns a copy of the nonzero canonical entries. Callers may
+// mutate the returned map freely; the matrix's internal state (and its
+// maintained row sums) cannot be corrupted through it. For allocation-free
+// iteration use IterCells.
+func (j *JDM) Cells() map[[2]int]int {
+	out := make(map[[2]int]int, len(j.cells))
+	for ky, v := range j.cells {
+		out[ky] = v
+	}
+	return out
+}
+
+// IterCells calls fn for every nonzero canonical entry (k <= k') in
+// unspecified order, stopping early if fn returns false. The matrix must
+// not be mutated during iteration.
+func (j *JDM) IterCells(fn func(k, kp, count int) bool) {
+	for ky, v := range j.cells {
+		if !fn(ky[0], ky[1], v) {
+			return
+		}
+	}
+}
 
 // Clone returns a deep copy.
 func (j *JDM) Clone() *JDM {

@@ -180,3 +180,59 @@ func TestCloneIsDeep(t *testing.T) {
 		t.Fatal("DegreeVector Clone not deep")
 	}
 }
+
+// TestCellsDoesNotAliasInternalState is the regression test for the
+// Cells() aliasing hazard: mutating the returned map must not corrupt the
+// matrix or its maintained row sums.
+func TestCellsDoesNotAliasInternalState(t *testing.T) {
+	j := NewJDM(4)
+	j.Add(1, 2, 3)
+	j.Add(2, 2, 2)
+	cells := j.Cells()
+	cells[[2]int{1, 2}] = 99    // corrupt an existing entry
+	delete(cells, [2]int{2, 2}) // drop another
+	cells[[2]int{3, 4}] = 7     // invent a new one
+	if got := j.Get(1, 2); got != 3 {
+		t.Fatalf("m(1,2) = %d after caller mutated Cells() copy, want 3", got)
+	}
+	if got := j.Get(2, 2); got != 2 {
+		t.Fatalf("m(2,2) = %d, want 2", got)
+	}
+	if got := j.Get(3, 4); got != 0 {
+		t.Fatalf("m(3,4) = %d, want 0", got)
+	}
+	if j.RowSum(1) != 3 || j.RowSum(2) != 7 {
+		t.Fatalf("row sums corrupted: s(1)=%d s(2)=%d, want 3 and 7", j.RowSum(1), j.RowSum(2))
+	}
+	if j.TotalEdges() != 5 {
+		t.Fatalf("TotalEdges = %d, want 5", j.TotalEdges())
+	}
+}
+
+// TestIterCellsMatchesCells: the allocation-free iterator visits exactly
+// the nonzero canonical entries, and early exit stops the walk.
+func TestIterCellsMatchesCells(t *testing.T) {
+	j := NewJDM(5)
+	j.Add(1, 2, 3)
+	j.Add(2, 5, 1)
+	j.Add(4, 4, 2)
+	got := make(map[[2]int]int)
+	j.IterCells(func(k, kp, c int) bool {
+		got[[2]int{k, kp}] = c
+		return true
+	})
+	want := j.Cells()
+	if len(got) != len(want) {
+		t.Fatalf("IterCells visited %d entries, want %d", len(got), len(want))
+	}
+	for ky, c := range want {
+		if got[ky] != c {
+			t.Fatalf("IterCells[%v] = %d, want %d", ky, got[ky], c)
+		}
+	}
+	visits := 0
+	j.IterCells(func(_, _, _ int) bool { visits++; return false })
+	if visits != 1 {
+		t.Fatalf("early-exit IterCells made %d visits, want 1", visits)
+	}
+}

@@ -25,9 +25,18 @@ type Graph struct {
 	adj [][]int
 	m   int // number of edges (a self-loop counts as one edge)
 
-	// idx caches the flat multiplicity index built by Index(); every
-	// mutating method resets it to nil.
+	// idx caches the flat multiplicity index built by Index() and csr the
+	// compressed-sparse-row snapshot built by CSR(); every mutating method
+	// resets both to nil.
 	idx *Index
+	csr *CSR
+}
+
+// invalidate drops the cached read-path snapshots. Every mutating method
+// calls it before changing the adjacency.
+func (g *Graph) invalidate() {
+	g.idx = nil
+	g.csr = nil
 }
 
 // New returns a graph with n isolated nodes.
@@ -72,14 +81,14 @@ func (g *Graph) M() int { return g.m }
 
 // AddNode appends a new isolated node and returns its ID.
 func (g *Graph) AddNode() int {
-	g.idx = nil
+	g.invalidate()
 	g.adj = append(g.adj, nil)
 	return len(g.adj) - 1
 }
 
 // AddNodes appends k new isolated nodes and returns the ID of the first.
 func (g *Graph) AddNodes(k int) int {
-	g.idx = nil
+	g.invalidate()
 	first := len(g.adj)
 	g.adj = append(g.adj, make([][]int, k)...)
 	return first
@@ -90,7 +99,7 @@ func (g *Graph) AddNodes(k int) int {
 func (g *Graph) AddEdge(u, v int) {
 	g.checkNode(u)
 	g.checkNode(v)
-	g.idx = nil
+	g.invalidate()
 	g.adj[u] = append(g.adj[u], v)
 	if u != v {
 		g.adj[v] = append(g.adj[v], u)
@@ -108,7 +117,7 @@ func (g *Graph) RemoveEdge(u, v int) bool {
 	if !g.removeEndpoint(u, v) {
 		return false
 	}
-	g.idx = nil
+	g.invalidate()
 	if u != v {
 		if !g.removeEndpoint(v, u) {
 			panic(fmt.Sprintf("graph: asymmetric adjacency between %d and %d", u, v))
@@ -290,7 +299,10 @@ func (g *Graph) Clone() *Graph {
 
 // SortAdjacency sorts every neighbor list ascending, giving the graph a
 // canonical in-memory form (useful for tests and deterministic iteration).
+// It invalidates the cached snapshots: the CSR endpoint view mirrors the
+// in-memory adjacency order, which this reorders.
 func (g *Graph) SortAdjacency() {
+	g.invalidate()
 	for _, a := range g.adj {
 		sort.Ints(a)
 	}

@@ -1,7 +1,6 @@
 package graph
 
 import (
-	"sgr/internal/adjset"
 	"sgr/internal/parallel"
 )
 
@@ -45,35 +44,30 @@ func (g *Graph) JointDegreeMatrix() map[[2]int]int {
 func (g *Graph) TriangleCounts() []int64 { return g.TriangleCountsWorkers(0) }
 
 // TriangleCountsWorkers is TriangleCounts on at most workers goroutines
-// (<= 0 selects all CPUs). Both passes parallelize over nodes with
-// index-disjoint writes, so the counts are identical at any worker count.
+// (<= 0 selects all CPUs). It parallelizes over nodes with index-disjoint
+// writes, so the counts are identical at any worker count.
 func (g *Graph) TriangleCountsWorkers(workers int) []int64 {
 	n := g.N()
 	t := make([]int64, n)
-	// Flat multiplicity index, built once serially and then shared
-	// read-only across the worker goroutines.
-	ix := g.Index()
+	// Shared CSR snapshot, built once serially and then read-only across
+	// the worker goroutines. Sorted distinct rows turn the A_jl probe of
+	// the naive formula into a linear sorted-merge intersection:
+	// t_u = (1/2) sum_{j in N*(u)} A_uj * sp(u,j), where sp excludes both
+	// endpoints structurally. Each unordered neighbor pair (j,l) of u is
+	// counted once from j and once from l, hence the halving; the sum is
+	// exact int64 arithmetic, so results are order-independent.
+	c := g.CSR()
 	parallel.Blocks(workers, n, func(lo, hi int) {
 		for u := lo; u < hi; u++ {
-			keys, counts := ix.Row(u)
-			// Unordered distinct non-self neighbor pairs (j,l); A_jl via
-			// an O(1) probe. Triangle products are exact int64 sums, so
-			// the result is identical at any worker count and slot order.
-			for i := 0; i < len(keys); i++ {
-				j := keys[i]
-				if j == adjset.Empty || int(j) == u {
-					continue
-				}
-				for k := i + 1; k < len(keys); k++ {
-					l := keys[k]
-					if l == adjset.Empty || int(l) == u {
-						continue
-					}
-					if ajl := ix.set.Get(int(j), int(l)); ajl > 0 {
-						t[u] += int64(counts[i]) * int64(counts[k]) * int64(ajl)
-					}
-				}
+			nbr, mult := c.Row(u)
+			if len(nbr) < 2 {
+				continue
 			}
+			var s int64
+			for i, j := range nbr {
+				s += int64(mult[i]) * c.SharedPartners(u, int(j))
+			}
+			t[u] = s / 2
 		}
 	})
 	return t

@@ -13,10 +13,16 @@
 // neighbor cache, and an on-disk crawl journal that lets an interrupted
 // crawl resume without re-spending API budget — built into the client.
 //
-// The wire protocol (version 1) has two endpoints:
+// The wire protocol (version 1) has three endpoints:
 //
 //	GET /v1/meta                           -> Meta
 //	GET /v1/nodes/{id}/neighbors?cursor=C  -> NeighborsPage (one page)
+//	GET /v1/neighbors?ids=a,b,c            -> BatchNeighborsResponse
+//
+// The batch endpoint serves the first neighbor page of up to Meta.MaxBatch
+// nodes in one round trip (per-item errors for private/unknown nodes, one
+// rate-limit token per request, one served query per node); Client.Prefetch
+// uses it to amortize HTTP overhead on BFS-frontier crawls.
 //
 // Neighbor lists are served in the hidden graph's adjacency order and
 // paginated for high-degree hubs; a crawl through Client is therefore
@@ -28,10 +34,13 @@ package oracle
 
 // Meta is the response of GET /v1/meta: the node count crawlers need to
 // turn a target fraction into an absolute budget, plus the server's page
-// size so clients can size pagination loops.
+// size so clients can size pagination loops. MaxBatch advertises the
+// batched neighbors endpoint (0 or absent: the server has none, as with
+// pre-batch servers, and clients fall back to single-node queries).
 type Meta struct {
 	Nodes    int `json:"nodes"`
 	PageSize int `json:"page_size"`
+	MaxBatch int `json:"max_batch,omitempty"`
 }
 
 // NeighborsPage is one page of GET /v1/nodes/{id}/neighbors. Neighbors
@@ -44,6 +53,26 @@ type NeighborsPage struct {
 	// NextCursor is the offset of the next page. 0 means this page
 	// completes the list (offset 0 is never a continuation).
 	NextCursor int `json:"next_cursor,omitempty"`
+}
+
+// BatchNeighborsResponse is the body of GET /v1/neighbors?ids=a,b,c: one
+// item per requested id, in request order. The endpoint exists to amortize
+// per-request HTTP overhead on BFS-frontier crawls; it costs one rate-limit
+// token per request while each served node still counts as one query.
+type BatchNeighborsResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// BatchItem is one node's answer inside a batch response: either a first
+// neighbor page (hubs longer than the page size set NextCursor, and the
+// client continues on the single-node endpoint) or a per-item Error code
+// ("private", "unknown_node") that leaves the rest of the batch intact.
+type BatchItem struct {
+	ID         int    `json:"id"`
+	Degree     int    `json:"degree,omitempty"`
+	Neighbors  []int  `json:"neighbors,omitempty"`
+	NextCursor int    `json:"next_cursor,omitempty"`
+	Error      string `json:"error,omitempty"`
 }
 
 // Error is the JSON body of every non-2xx response.

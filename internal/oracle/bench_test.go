@@ -2,9 +2,12 @@ package oracle
 
 import (
 	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"testing"
 
+	"sgr/internal/graph"
 	"sgr/internal/sampling"
 )
 
@@ -41,6 +44,144 @@ func BenchmarkOracleNeighbors(b *testing.B) {
 	b.StopTimer()
 	client.Close()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// refNeighborsHandler is the frozen pre-CSR server read path: a per-request
+// copy of the live adjacency slice fed through a per-request json.Encoder,
+// behind the same rate-limit/latency/fault front end as the live handler so
+// the comparison isolates the page path. Serving it next to the CSR path
+// puts the before/after queries/s numbers in one benchmark run on the same
+// hardware.
+func refNeighborsHandler(g *graph.Graph, pageSize int) http.Handler {
+	s := NewServer(g, ServerConfig{PageSize: pageSize})
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/meta", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, Meta{Nodes: g.N(), PageSize: pageSize})
+	})
+	mux.HandleFunc("GET /v1/nodes/{id}/neighbors", func(w http.ResponseWriter, r *http.Request) {
+		if ok, retryAfter := s.limiter.Allow(clientKey(r), s.now()); !ok {
+			w.Header().Set("Retry-After", retryAfterValue(retryAfter))
+			writeJSON(w, http.StatusTooManyRequests, Error{Code: ErrCodeRateLimited})
+			return
+		}
+		s.injectLatency()
+		if s.injectFault() {
+			writeJSON(w, http.StatusServiceUnavailable, Error{Code: ErrCodeTransient})
+			return
+		}
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil || id < 0 || id >= g.N() {
+			writeJSON(w, http.StatusNotFound, Error{Code: ErrCodeUnknownNode})
+			return
+		}
+		cursor := 0
+		if c := r.URL.Query().Get("cursor"); c != "" {
+			cursor, err = strconv.Atoi(c)
+			if err != nil || cursor < 0 {
+				writeJSON(w, http.StatusBadRequest, Error{Code: ErrCodeBadRequest})
+				return
+			}
+		}
+		nb := g.Neighbors(id)
+		if cursor > len(nb) {
+			writeJSON(w, http.StatusBadRequest, Error{Code: ErrCodeBadRequest})
+			return
+		}
+		end := cursor + pageSize
+		page := NeighborsPage{ID: id, Degree: len(nb)}
+		if end >= len(nb) {
+			end = len(nb)
+		} else {
+			page.NextCursor = end
+		}
+		page.Neighbors = append([]int{}, nb[cursor:end]...)
+		writeJSON(w, http.StatusOK, page)
+	})
+	return mux
+}
+
+// BenchmarkOracleNeighborsRef is BenchmarkOracleNeighbors against the
+// frozen pre-CSR handler — the "before" half of BENCH_props.json's oracle
+// queries/s comparison.
+func BenchmarkOracleNeighborsRef(b *testing.B) {
+	g := testGraph(b)
+	ts := httptest.NewServer(refNeighborsHandler(g, DefaultPageSize))
+	defer ts.Close()
+	client := benchClient(b, ts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%g.N() == 0 && i > 0 {
+			client.Close()
+			client = benchClient(b, ts)
+		}
+		if _, err := client.Neighbors(i % g.N()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	client.Close()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkServerNeighborsHandler serves neighbor pages straight through
+// the handler (no sockets), isolating the server read path — CSR zero-copy
+// rows plus pooled encoding vs the frozen copy-and-json.Encoder path —
+// from HTTP round-trip noise.
+func BenchmarkServerNeighborsHandler(b *testing.B) {
+	g := testGraph(b)
+	for _, tc := range []struct {
+		name    string
+		handler http.Handler
+	}{
+		{"csr", NewServer(g, ServerConfig{}).Handler()},
+		{"ref", refNeighborsHandler(g, DefaultPageSize)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			reqs := make([]*http.Request, g.N())
+			for u := 0; u < g.N(); u++ {
+				reqs[u] = httptest.NewRequest(http.MethodGet,
+					fmt.Sprintf("/v1/nodes/%d/neighbors", u), nil)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w := httptest.NewRecorder()
+				tc.handler.ServeHTTP(w, reqs[i%g.N()])
+				if w.Code != http.StatusOK {
+					b.Fatalf("status %d", w.Code)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOracleBFSCrawl measures a complete remote BFS crawl (10% of the
+// graph) per iteration, cold cache each time — the frontier workload the
+// batched /v1/neighbors endpoint amortizes. The Batch=off variant disables
+// the endpoint server-side, so the split isolates the batching win.
+func BenchmarkOracleBFSCrawl(b *testing.B) {
+	for _, batch := range []struct {
+		name string
+		cfg  ServerConfig
+	}{
+		{"batch", ServerConfig{}},
+		{"nobatch", ServerConfig{MaxBatch: -1}},
+	} {
+		b.Run(batch.name, func(b *testing.B) {
+			g := testGraph(b)
+			_, ts := startServer(b, g, batch.cfg)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				client := benchClient(b, ts)
+				if _, err := sampling.BFS(client, 17, 0.10); err != nil {
+					b.Fatalf("%v (client: %v)", err, client.Err())
+				}
+				client.Close()
+			}
+		})
+	}
 }
 
 // BenchmarkOracleCrawl measures a complete remote random-walk crawl (10%

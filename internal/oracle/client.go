@@ -15,8 +15,12 @@ import (
 	"sgr/internal/sampling"
 )
 
-// Client implements the paper's access model over the wire.
-var _ sampling.Access = (*Client)(nil)
+// Client implements the paper's access model over the wire, including the
+// advisory batch-prefetch extension.
+var (
+	_ sampling.Access     = (*Client)(nil)
+	_ sampling.Prefetcher = (*Client)(nil)
+)
 
 // ClientConfig configures a Client. Only BaseURL is required.
 type ClientConfig struct {
@@ -210,6 +214,13 @@ func (c *Client) Neighbors(u int) ([]int, error) {
 	c.mu.Unlock()
 
 	nb, err := c.fetchNode(u)
+	return c.commit(u, e, nb, err)
+}
+
+// commit finalizes an in-flight cache entry with a fetched answer (or
+// failure), journals it, and releases the entry's waiters. It is the single
+// completion path shared by Neighbors and Prefetch.
+func (c *Client) commit(u int, e *entry, nb []int, err error) ([]int, error) {
 	switch {
 	case errors.Is(err, errPrivateNode):
 		// A private answer still spends the query (the server charged the
@@ -246,6 +257,98 @@ func (c *Client) Neighbors(u int) ([]int, error) {
 	return e.nb, e.err
 }
 
+// Prefetch warms the neighbor cache for ids the caller is certain to query
+// — sampling's BFS-family crawlers hand it the frontier prefix covered by
+// the remaining budget — using the server's batched endpoint to amortize
+// HTTP round trips. It implements sampling.Prefetcher and is purely
+// advisory: every answer flows through the same commit path as Neighbors
+// (budget accounting, journal, dedup), so crawls are byte-identical with
+// and without it. Ids already cached or in flight are skipped; nodes whose
+// batch answer is incomplete (paginated hubs) or missing fall back to the
+// single-node path. Against a server without the batch endpoint
+// (Meta.MaxBatch == 0) it is a no-op.
+func (c *Client) Prefetch(ids []int) {
+	if c.meta.MaxBatch <= 0 || len(ids) == 0 {
+		return
+	}
+	var owned []int
+	var entries []*entry
+	c.mu.Lock()
+	for _, u := range ids {
+		if u < 0 || u >= c.meta.Nodes {
+			continue
+		}
+		if _, ok := c.cache[u]; ok {
+			continue
+		}
+		e := &entry{done: make(chan struct{})}
+		c.cache[u] = e
+		owned = append(owned, u)
+		entries = append(entries, e)
+	}
+	c.mu.Unlock()
+	for len(owned) > 0 {
+		n := len(owned)
+		if n > c.meta.MaxBatch {
+			n = c.meta.MaxBatch
+		}
+		c.prefetchChunk(owned[:n], entries[:n])
+		owned, entries = owned[n:], entries[n:]
+	}
+}
+
+// prefetchChunk resolves one batch request's worth of claimed entries.
+// Every claimed entry is committed exactly once — a batch answer when it is
+// complete, the single-node fetch path otherwise — so waiters never block
+// on an abandoned entry.
+func (c *Client) prefetchChunk(ids []int, entries []*entry) {
+	var sb strings.Builder
+	sb.WriteString(c.baseURL)
+	sb.WriteString("/v1/neighbors?ids=")
+	for i, u := range ids {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(u))
+	}
+	var resp BatchNeighborsResponse
+	items := make(map[int]*BatchItem, len(ids))
+	if err := c.getJSON(sb.String(), &resp); err == nil {
+		for i := range resp.Results {
+			items[resp.Results[i].ID] = &resp.Results[i]
+		}
+	}
+	for i, u := range ids {
+		e := entries[i]
+		if it, ok := items[u]; ok {
+			switch {
+			case it.Error == ErrCodePrivate:
+				c.commit(u, e, nil, errPrivateNode)
+				continue
+			case it.Error == "" && it.NextCursor == 0 && len(it.Neighbors) == it.Degree:
+				nb := it.Neighbors
+				if len(nb) == 0 {
+					nb = nil // match the single-node path for degree-0 nodes
+				}
+				c.commit(u, e, nb, nil)
+				continue
+			case it.Error == "" && it.NextCursor > 0:
+				// Paginated hub: keep the batch-served first page and
+				// continue from its cursor on the single-node endpoint, so
+				// no neighbors transfer twice and the hub costs exactly
+				// one served query per page, like plain pagination.
+				nb, err := c.fetchNodeFrom(u, append([]int(nil), it.Neighbors...), it.NextCursor)
+				c.commit(u, e, nb, err)
+				continue
+			}
+		}
+		// Batch failed, item missing, or an unknown id: resolve through
+		// the single-node path, retries and all.
+		nb, err := c.fetchNode(u)
+		c.commit(u, e, nb, err)
+	}
+}
+
 // RecordWalk appends the completed walk sequence to the journal, turning
 // it into a self-contained crawl for LoadCrawlFromJournal.
 func (c *Client) RecordWalk(walk []int) error {
@@ -265,8 +368,13 @@ func (c *Client) recordErr(err error) {
 
 // fetchNode reassembles u's neighbor list across pages.
 func (c *Client) fetchNode(u int) ([]int, error) {
-	var nb []int
-	cursor := 0
+	return c.fetchNodeFrom(u, nil, 0)
+}
+
+// fetchNodeFrom continues reassembling u's neighbor list from cursor,
+// with nb holding the neighbors already received (a batch answer's first
+// page, or nothing).
+func (c *Client) fetchNodeFrom(u int, nb []int, cursor int) ([]int, error) {
 	for {
 		var page NeighborsPage
 		url := fmt.Sprintf("%s/v1/nodes/%d/neighbors", c.baseURL, u)

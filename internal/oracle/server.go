@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,12 +19,22 @@ import (
 // ServerConfig.PageSize is unset. Hub nodes above it paginate.
 const DefaultPageSize = 1024
 
+// DefaultMaxBatch bounds how many ids one GET /v1/neighbors?ids=... request
+// may carry when ServerConfig.MaxBatch is unset.
+const DefaultMaxBatch = 64
+
 // ServerConfig tunes the served access model and its injected failure
 // modes. The zero value serves an honest, unlimited, fault-free API.
 type ServerConfig struct {
 	// PageSize is the maximum neighbors per response (default
 	// DefaultPageSize).
 	PageSize int
+	// MaxBatch is the maximum ids per GET /v1/neighbors?ids=... request
+	// (default DefaultMaxBatch; < 0 disables the batch endpoint). A batch
+	// request costs one rate-limit token regardless of size — that
+	// amortization is the endpoint's purpose — but every node served still
+	// counts toward QueriesServed.
+	MaxBatch int
 	// Rate is the per-client request rate in tokens/second (<= 0 means
 	// unlimited) and Burst the bucket depth. Clients are keyed by the
 	// X-API-Key header, falling back to the remote host.
@@ -46,7 +57,11 @@ type ServerConfig struct {
 // Server serves a hidden graph through the oracle wire protocol. It is
 // safe for concurrent use; the graph must not be mutated while serving.
 type Server struct {
-	g       *graph.Graph
+	g *graph.Graph
+	// csr is the immutable read-path snapshot: neighbor pages are
+	// zero-copy subslices of its endpoint rows, which preserve the
+	// graph's adjacency order exactly (the order the protocol pins).
+	csr     *graph.CSR
 	cfg     ServerConfig
 	private map[int]struct{}
 	limiter *Limiter
@@ -68,8 +83,12 @@ func NewServer(g *graph.Graph, cfg ServerConfig) *Server {
 	if cfg.PageSize <= 0 {
 		cfg.PageSize = DefaultPageSize
 	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
 	s := &Server{
 		g:        g,
+		csr:      g.CSR(),
 		cfg:      cfg,
 		private:  make(map[int]struct{}, len(cfg.Private)),
 		limiter:  NewLimiter(cfg.Rate, cfg.Burst),
@@ -98,12 +117,19 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/meta", s.handleMeta)
 	mux.HandleFunc("GET /v1/nodes/{id}/neighbors", s.handleNeighbors)
+	if s.cfg.MaxBatch > 0 {
+		mux.HandleFunc("GET /v1/neighbors", s.handleNeighborsBatch)
+	}
 	return mux
 }
 
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 	s.injectLatency()
-	writeJSON(w, http.StatusOK, Meta{Nodes: s.g.N(), PageSize: s.cfg.PageSize})
+	maxBatch := s.cfg.MaxBatch
+	if maxBatch < 0 {
+		maxBatch = 0
+	}
+	writeJSON(w, http.StatusOK, Meta{Nodes: s.g.N(), PageSize: s.cfg.PageSize, MaxBatch: maxBatch})
 }
 
 func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
@@ -124,7 +150,7 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, Error{Code: ErrCodeBadRequest})
 		return
 	}
-	if id < 0 || id >= s.g.N() {
+	if id < 0 || id >= s.csr.N() {
 		writeJSON(w, http.StatusNotFound, Error{Code: ErrCodeUnknownNode})
 		return
 	}
@@ -140,22 +166,145 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	nb := s.g.Neighbors(id)
+	// Zero-copy: the page is a subslice of the immutable CSR endpoint row,
+	// in the exact adjacency order the protocol pins; no per-request copy
+	// of the neighbor list is made.
+	nb := s.csr.Endpoints(id)
 	if cursor > len(nb) {
 		writeJSON(w, http.StatusBadRequest, Error{Code: ErrCodeBadRequest})
 		return
 	}
 	end := cursor + s.cfg.PageSize
-	page := NeighborsPage{ID: id, Degree: len(nb)}
+	next := 0
 	if end >= len(nb) {
 		end = len(nb)
 	} else {
-		page.NextCursor = end
+		next = end
 	}
-	// Copy the slice so the JSON encoder never aliases live adjacency.
-	page.Neighbors = append([]int{}, nb[cursor:end]...)
 	s.queries.Add(1)
-	writeJSON(w, http.StatusOK, page)
+	buf := pageBufPool.Get().(*[]byte)
+	b := appendNeighborsPage((*buf)[:0], id, len(nb), nb[cursor:end], next)
+	b = append(b, '\n') // json.Encoder.Encode compatibility
+	writeRawJSON(w, http.StatusOK, b)
+	*buf = b
+	pageBufPool.Put(buf)
+}
+
+// handleNeighborsBatch serves GET /v1/neighbors?ids=a,b,c — the first page
+// of up to MaxBatch nodes in one round trip, so frontier crawlers amortize
+// per-request HTTP overhead. The request costs one rate-limit token; each
+// node served counts toward QueriesServed. Per-node failures (unknown id,
+// private profile) are reported per item so one bad id cannot poison the
+// batch; hubs whose lists exceed PageSize return their first page with
+// next_cursor set, and clients continue on the single-node endpoint.
+func (s *Server) handleNeighborsBatch(w http.ResponseWriter, r *http.Request) {
+	if ok, retryAfter := s.limiter.Allow(clientKey(r), s.now()); !ok {
+		s.rateLimited.Add(1)
+		w.Header().Set("Retry-After", retryAfterValue(retryAfter))
+		writeJSON(w, http.StatusTooManyRequests, Error{Code: ErrCodeRateLimited})
+		return
+	}
+	s.injectLatency()
+	if s.injectFault() {
+		s.faulted.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, Error{Code: ErrCodeTransient})
+		return
+	}
+	raw := r.URL.Query().Get("ids")
+	if raw == "" {
+		writeJSON(w, http.StatusBadRequest, Error{Code: ErrCodeBadRequest})
+		return
+	}
+	parts := strings.Split(raw, ",")
+	if len(parts) > s.cfg.MaxBatch {
+		writeJSON(w, http.StatusBadRequest, Error{Code: ErrCodeBadRequest})
+		return
+	}
+	ids := make([]int, len(parts))
+	for i, p := range parts {
+		id, err := strconv.Atoi(p)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, Error{Code: ErrCodeBadRequest})
+			return
+		}
+		ids[i] = id
+	}
+	buf := pageBufPool.Get().(*[]byte)
+	b := append((*buf)[:0], `{"results":[`...)
+	for i, id := range ids {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		switch {
+		case id < 0 || id >= s.csr.N():
+			b = appendBatchError(b, id, ErrCodeUnknownNode)
+		case s.isPrivate(id):
+			b = appendBatchError(b, id, ErrCodePrivate)
+		default:
+			nb := s.csr.Endpoints(id)
+			end, next := len(nb), 0
+			if end > s.cfg.PageSize {
+				end, next = s.cfg.PageSize, s.cfg.PageSize
+			}
+			s.queries.Add(1)
+			b = appendNeighborsPage(b, id, len(nb), nb[:end], next)
+		}
+	}
+	b = append(b, ']', '}', '\n')
+	writeRawJSON(w, http.StatusOK, b)
+	*buf = b
+	pageBufPool.Put(buf)
+}
+
+func (s *Server) isPrivate(id int) bool {
+	_, hidden := s.private[id]
+	return hidden
+}
+
+// pageBufPool recycles response buffers so the steady-state neighbor-page
+// path allocates nothing per request beyond what net/http itself needs.
+var pageBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// appendNeighborsPage renders a NeighborsPage as JSON, byte-identical to
+// encoding/json's output for the struct (field order, omitempty next_cursor)
+// minus the per-request encoder machinery.
+func appendNeighborsPage(b []byte, id, degree int, nbrs []int32, next int) []byte {
+	b = append(b, `{"id":`...)
+	b = strconv.AppendInt(b, int64(id), 10)
+	b = append(b, `,"degree":`...)
+	b = strconv.AppendInt(b, int64(degree), 10)
+	b = append(b, `,"neighbors":[`...)
+	for i, v := range nbrs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(v), 10)
+	}
+	b = append(b, ']')
+	if next > 0 {
+		b = append(b, `,"next_cursor":`...)
+		b = strconv.AppendInt(b, int64(next), 10)
+	}
+	return append(b, '}')
+}
+
+// appendBatchError renders a per-item batch failure.
+func appendBatchError(b []byte, id int, code string) []byte {
+	b = append(b, `{"id":`...)
+	b = strconv.AppendInt(b, int64(id), 10)
+	b = append(b, `,"error":"`...)
+	b = append(b, code...)
+	return append(b, '"', '}')
+}
+
+// writeRawJSON writes a prerendered JSON body.
+func writeRawJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
 }
 
 // injectLatency sleeps the configured base latency plus uniform jitter.

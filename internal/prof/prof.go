@@ -1,0 +1,63 @@
+// Package prof wires the standard -cpuprofile/-memprofile pprof flags into
+// the CLI commands, so perf work profiles the real pipeline (cmd/props,
+// cmd/restore) instead of microbenchmarks.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the file targets registered by AddFlags.
+type Flags struct {
+	CPU string
+	Mem string
+}
+
+// AddFlags registers -cpuprofile and -memprofile on the default flag set.
+// Call before flag.Parse.
+func AddFlags() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&f.Mem, "memprofile", "", "write a heap profile to this file at exit")
+	return f
+}
+
+// Start begins CPU profiling if requested and returns a stop function that
+// finishes the CPU profile and writes the heap profile. Call the stop
+// function on the command's success path (a log.Fatal exit abandons the
+// profiles, which is fine: failed runs are not worth profiling).
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if f.CPU != "" {
+		cpuFile, err = os.Create(f.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("prof: creating cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: starting cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if f.Mem != "" {
+			mf, err := os.Create(f.Mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
+		}
+	}, nil
+}

@@ -14,7 +14,6 @@
 package props
 
 import (
-	"sgr/internal/adjset"
 	"sgr/internal/graph"
 	"sgr/internal/parallel"
 )
@@ -41,21 +40,24 @@ func NeighborConnectivity(g *graph.Graph) map[int]float64 {
 }
 
 func neighborConnectivity(g *graph.Graph, workers int) map[int]float64 {
-	n := g.N()
-	// Per-node mean neighbor degree, computed in parallel into disjoint
-	// slots; the degree-keyed reduction below runs serially in ascending
-	// node order, matching the accumulation order of a serial loop — so
-	// the result is bit-identical at any worker count.
+	c := g.CSR()
+	n := c.N()
+	// Per-node mean neighbor degree over the CSR endpoint view (same
+	// summation order as the adjacency lists it snapshots, so the floats
+	// are bit-identical to the pre-CSR loop), computed in parallel into
+	// disjoint slots; the degree-keyed reduction below runs serially in
+	// ascending node order, matching the accumulation order of a serial
+	// loop — so the result is bit-identical at any worker count.
 	avg := make([]float64, n)
 	parallel.Blocks(workers, n, func(lo, hi int) {
 		for u := lo; u < hi; u++ {
-			k := g.Degree(u)
+			k := c.Degree(u)
 			if k == 0 {
 				continue
 			}
 			s := 0.0
-			for _, v := range g.Neighbors(u) {
-				s += float64(g.Degree(v))
+			for _, v := range c.Endpoints(u) {
+				s += float64(c.Degree(int(v)))
 			}
 			avg[u] = s / float64(k)
 		}
@@ -63,7 +65,7 @@ func neighborConnectivity(g *graph.Graph, workers int) map[int]float64 {
 	sum := make(map[int]float64)
 	cnt := make(map[int]int)
 	for u := 0; u < n; u++ {
-		k := g.Degree(u)
+		k := c.Degree(u)
 		cnt[k]++
 		if k > 0 {
 			sum[k] += avg[u]
@@ -142,74 +144,66 @@ func EdgewiseSharedPartners(g *graph.Graph) map[int]float64 {
 }
 
 func edgewiseSharedPartners(g *graph.Graph, workers int) map[int]float64 {
-	n := g.N()
-	// Flat multiplicity index, built once serially and shared read-only.
-	ix := g.Index()
+	// Shared CSR snapshot, built once serially and shared read-only.
+	c := g.CSR()
+	n := c.N()
 	// The shared-partner histogram is integer-valued, so per-block partial
-	// counts merge commutatively — identical at any worker count.
+	// counts merge commutatively — identical at any worker count. Dense
+	// int64 histograms (indexed by shared-partner count) replace the
+	// per-block maps: the hot loop is a sorted-merge intersection plus one
+	// slice increment, allocation-free once a block's histogram has grown
+	// to its working size.
 	type partial struct {
-		counts map[int]int
-		total  int
+		counts []int64
+		total  int64
 	}
 	const blockNodes = 256
 	blocks := (n + blockNodes - 1) / blockNodes
 	parts, _ := parallel.Map(workers, blocks, func(b int) (partial, error) {
-		p := partial{counts: make(map[int]int)}
+		var p partial
 		lo, hi := b*blockNodes, (b+1)*blockNodes
 		if hi > n {
 			hi = n
 		}
 		for u := lo; u < hi; u++ {
-			ku, cu := ix.Row(u)
-			for si, vk := range ku {
-				if vk == adjset.Empty {
-					continue
-				}
+			nbr, mult := c.Row(u)
+			for i, vk := range nbr {
 				v := int(vk)
 				if v <= u {
 					continue // each distinct pair once; self-loops excluded
 				}
-				// sp(u,v) = sum_{w != u,v} A_uw A_vw, scanning the endpoint
-				// with fewer distinct neighbors and probing the other.
-				a, bb := u, v
-				if ix.DistinctNeighbors(a) > ix.DistinctNeighbors(bb) {
-					a, bb = bb, a
-				}
-				ka, ca := ix.Row(a)
-				sp := 0
-				for sj, wk := range ka {
-					if wk == adjset.Empty {
-						continue
-					}
-					w := int(wk)
-					if w == u || w == v {
-						continue
-					}
-					if cb := ix.Multiplicity(bb, w); cb > 0 {
-						sp += int(ca[sj]) * cb
-					}
+				// sp(u,v) = sum_{w != u,v} A_uw A_vw by sorted-merge of the
+				// two distinct rows (endpoint exclusion is structural).
+				sp := c.SharedPartners(u, v)
+				for int64(len(p.counts)) <= sp {
+					p.counts = append(p.counts, 0)
 				}
 				// One entry per parallel edge instance.
-				p.counts[sp] += int(cu[si])
-				p.total += int(cu[si])
+				p.counts[sp] += int64(mult[i])
+				p.total += int64(mult[i])
 			}
 		}
 		return p, nil
 	})
-	counts := make(map[int]int)
-	total := 0
+	var merged []int64
+	var total int64
 	for _, p := range parts {
 		for s, c := range p.counts {
-			counts[s] += c
+			for len(merged) <= s {
+				merged = append(merged, 0)
+			}
+			merged[s] += c
 		}
 		total += p.total
 	}
-	out := make(map[int]float64, len(counts))
+	out := make(map[int]float64)
 	if total == 0 {
 		return out
 	}
-	for s, c := range counts {
-		out[s] = float64(c) / float64(total)
+	for s, c := range merged {
+		if c > 0 {
+			out[s] = float64(c) / float64(total)
+		}
 	}
 	return out
 }

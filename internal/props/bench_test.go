@@ -15,18 +15,45 @@ func benchGraph(b *testing.B, n int) *graph.Graph {
 func BenchmarkComputeAllExact(b *testing.B) {
 	g := benchGraph(b, 2000)
 	opts := Options{ExactThreshold: 5000}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Compute(g, opts)
 	}
 }
 
+// BenchmarkComputeAllExactRef runs the frozen pre-CSR Compute pipeline
+// (csrdiff_test.go) on the same graph and options, so BENCH_props.json
+// carries before/after numbers measured on the same hardware — the
+// counterpart of BenchmarkRewire's adjset-vs-mapref split.
+func BenchmarkComputeAllExactRef(b *testing.B) {
+	g := benchGraph(b, 2000)
+	opts := Options{ExactThreshold: 5000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refCompute(g, opts)
+	}
+}
+
 func BenchmarkComputeAllPivot(b *testing.B) {
 	g := benchGraph(b, 5000)
 	opts := Options{ExactThreshold: 100, Pivots: 500}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Compute(g, opts)
+	}
+}
+
+// BenchmarkComputeAllPivotRef is the frozen pre-CSR pipeline in pivot mode.
+func BenchmarkComputeAllPivotRef(b *testing.B) {
+	g := benchGraph(b, 5000)
+	opts := Options{ExactThreshold: 100, Pivots: 500}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refCompute(g, opts)
 	}
 }
 
@@ -37,6 +64,7 @@ func BenchmarkBrandesAllSources(b *testing.B) {
 	for i := range sources {
 		sources[i] = int32(i)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		computePaths(c, sources, 1, 0)

@@ -34,12 +34,14 @@ func Dissimilarity(a, b *graph.Graph, opts Options) float64 {
 // per-node distance distributions).
 func distanceProfile(g *graph.Graph, opts Options) ([]float64, float64) {
 	opts = opts.withDefaults()
-	lcc, _ := g.LargestComponent()
-	n := lcc.N()
+	// The LCC path view comes straight out of the shared CSR snapshot, so
+	// both sides of a D-measure (and any property computation on the same
+	// graphs) reuse one snapshot per graph.
+	c, _ := lccCSR(g)
+	n := c.n
 	if n <= 1 {
 		return []float64{1}, 0
 	}
-	c := newCSR(lcc)
 	sources := pickSources(n, opts)
 
 	// Per-node distance distributions p_i(l) for l = 1..diam. Sources are
@@ -170,16 +172,18 @@ func degreeVectorGap(a, b *graph.Graph, complement bool) float64 {
 }
 
 // normalizedDegreeWeights returns the sorted, normalized degree sequence of
-// g (or of its complement), as a probability vector.
+// g (or of its complement), as a probability vector. Degrees come off the
+// shared CSR snapshot (flat offsets, no per-node slice headers).
 func normalizedDegreeWeights(g *graph.Graph, complement bool) []float64 {
-	n := g.N()
+	c := g.CSR()
+	n := c.N()
 	if n == 0 {
 		return nil
 	}
 	deg := make([]float64, n)
 	total := 0.0
 	for u := 0; u < n; u++ {
-		d := float64(g.Degree(u))
+		d := float64(c.Degree(u))
 		if complement {
 			d = float64(n-1) - d
 			if d < 0 {

@@ -13,14 +13,19 @@ import (
 // Self-loops are excluded; multi-edges count with multiplicity. Returns 0
 // for degenerate (constant-degree or empty) graphs.
 func Assortativity(g *graph.Graph) float64 {
+	// CSR endpoint view: same per-endpoint iteration order as the
+	// adjacency lists it snapshots, so the float accumulations are
+	// bit-identical to the pre-CSR loop.
+	c := g.CSR()
 	var sx, sy, sxy, sx2, sy2, n float64
-	for u := 0; u < g.N(); u++ {
-		du := float64(g.Degree(u))
-		for _, v := range g.Neighbors(u) {
+	for u := 0; u < c.N(); u++ {
+		du := float64(c.Degree(u))
+		for _, vk := range c.Endpoints(u) {
+			v := int(vk)
 			if v == u {
 				continue
 			}
-			dv := float64(g.Degree(v))
+			dv := float64(c.Degree(v))
 			// Each undirected edge appears twice (u->v, v->u), which
 			// symmetrizes the correlation.
 			sx += du
@@ -49,18 +54,14 @@ func Assortativity(g *graph.Graph) float64 {
 // Batagelj–Zaveršnik peeling algorithm. Self-loops are ignored; multi-edges
 // count once (core decomposition is a simple-graph notion).
 func CoreNumbers(g *graph.Graph) []int {
-	n := g.N()
+	// The CSR distinct view is exactly the simple projection the peeling
+	// algorithm needs: distinct non-self neighbors, multiplicities ignored.
+	c := g.CSR()
+	n := c.N()
 	deg := make([]int, n)
 	maxDeg := 0
-	adj := make([][]int, n)
 	for u := 0; u < n; u++ {
-		mm := g.NeighborMultiplicities(u)
-		row := make([]int, 0, len(mm))
-		for v := range mm {
-			row = append(row, v)
-		}
-		adj[u] = row
-		deg[u] = len(row)
+		deg[u] = c.DistinctDegree(u)
 		if deg[u] > maxDeg {
 			maxDeg = deg[u]
 		}
@@ -92,7 +93,9 @@ func CoreNumbers(g *graph.Graph) []int {
 	copy(core, deg)
 	for i := 0; i < n; i++ {
 		u := vert[i]
-		for _, v := range adj[u] {
+		nbr, _ := c.Row(u)
+		for _, vk := range nbr {
+			v := int(vk)
 			if core[v] > core[u] {
 				dv := core[v]
 				pv, pw := pos[v], bin[dv]

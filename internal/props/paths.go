@@ -2,15 +2,15 @@ package props
 
 import (
 	"runtime"
-	"sort"
 	"sync"
 
 	"sgr/internal/graph"
 )
 
-// csr is a compact adjacency form for path computations: distinct neighbors
+// csr is the path view of a graph: distinct neighbors in ascending order
 // with edge multiplicities, self-loops dropped (they never lie on shortest
-// paths).
+// paths). Sorted rows make float accumulation order, and hence results,
+// bit-for-bit reproducible.
 type csr struct {
 	n      int
 	offset []int32
@@ -18,37 +18,60 @@ type csr struct {
 	mult   []int32
 }
 
+// newCSR projects the graph's shared CSR snapshot onto the path view.
+// Zero-copy: the arrays alias graph.CSR's distinct view, which already has
+// exactly the required shape.
 func newCSR(g *graph.Graph) *csr {
-	n := g.N()
-	c := &csr{n: n, offset: make([]int32, n+1)}
-	type ent struct{ v, m int32 }
-	rows := make([][]ent, n)
-	total := 0
-	for u := 0; u < n; u++ {
-		mm := g.NeighborMultiplicities(u)
-		row := make([]ent, 0, len(mm))
-		for v, m := range mm {
-			row = append(row, ent{int32(v), int32(m)})
-		}
-		// Sorted rows make float accumulation order, and hence results,
-		// bit-for-bit reproducible.
-		sort.Slice(row, func(i, j int) bool { return row[i].v < row[j].v })
-		rows[u] = row
-		total += len(row)
+	c := g.CSR()
+	off, nbr, mult := c.Rows()
+	return &csr{n: c.N(), offset: off, nbr: nbr, mult: mult}
+}
+
+// lccCSR builds the path view of g's largest connected component directly
+// from the shared CSR snapshot, without materializing the component as a
+// *graph.Graph (the InducedSubgraph rebuild used to dominate Compute's
+// allocations). Nodes are relabeled to 0..k-1 in the order of
+// ConnectedComponents' member list — the same order LargestComponent uses —
+// and rows come out sorted by new label without any per-row sort, because
+// source nodes are scanned in ascending new label. The second return value
+// holds each LCC node's full degree in g (self-loops and multi-edges
+// included), for the degree-keyed reductions. An empty g yields n == 0.
+func lccCSR(g *graph.Graph) (*csr, []int32) {
+	comps := g.ConnectedComponents()
+	if len(comps) == 0 {
+		return &csr{offset: []int32{0}}, nil
 	}
-	c.nbr = make([]int32, total)
-	c.mult = make([]int32, total)
-	pos := 0
-	for u := 0; u < n; u++ {
-		c.offset[u] = int32(pos)
-		for _, e := range rows[u] {
-			c.nbr[pos] = e.v
-			c.mult[pos] = e.m
-			pos++
+	members := comps[0]
+	c := g.CSR()
+	k := len(members)
+	inv := make([]int32, g.N())
+	for i, u := range members {
+		inv[u] = int32(i)
+	}
+	sub := &csr{n: k, offset: make([]int32, k+1)}
+	deg := make([]int32, k)
+	total := int32(0)
+	for i, u := range members {
+		sub.offset[i] = total
+		// Every distinct neighbor of a component member is in the
+		// component, so row sizes are known without a counting pass.
+		total += int32(c.DistinctDegree(u))
+		deg[i] = int32(c.Degree(u))
+	}
+	sub.offset[k] = total
+	sub.nbr = make([]int32, total)
+	sub.mult = make([]int32, total)
+	fill := append([]int32(nil), sub.offset[:k]...)
+	for vi, orig := range members {
+		nbr, mult := c.Row(orig)
+		for idx, w := range nbr {
+			u := inv[w]
+			sub.nbr[fill[u]] = int32(vi)
+			sub.mult[fill[u]] = mult[idx]
+			fill[u]++
 		}
 	}
-	c.offset[n] = int32(pos)
-	return c
+	return sub, deg
 }
 
 // PathStats aggregates the shortest-path properties of Sec. V-B

@@ -61,6 +61,10 @@ type Result struct {
 // are deterministic only for a fixed Workers value.
 func Compute(g *graph.Graph, opts Options) *Result {
 	opts = opts.withDefaults()
+	// One shared CSR snapshot feeds every property below; building (or
+	// fetching the cached snapshot) here keeps the parallel loops free of
+	// the non-goroutine-safe first build.
+	g.CSR()
 	// One triangle pass feeds both clustering properties.
 	local := localClustering(g, opts.Workers)
 	res := &Result{
@@ -74,20 +78,21 @@ func Compute(g *graph.Graph, opts Options) *Result {
 		Lambda1:              Lambda1(g),
 	}
 
-	lcc, _ := g.LargestComponent()
-	if lcc.N() <= 1 {
+	// Shortest-path properties over the LCC, projected straight out of the
+	// shared snapshot.
+	lcc, lccDeg := lccCSR(g)
+	if lcc.n <= 1 {
 		res.PathLenDist = map[int]float64{}
 		res.DegreeBetweenness = map[int]float64{}
 		res.PathsExact = true
 		return res
 	}
-	c := newCSR(lcc)
-	sources := pickSources(lcc.N(), opts)
+	sources := pickSources(lcc.n, opts)
 	scale := 1.0
-	if len(sources) < lcc.N() {
-		scale = float64(lcc.N()) / float64(len(sources))
+	if len(sources) < lcc.n {
+		scale = float64(lcc.n) / float64(len(sources))
 	}
-	st := computePaths(c, sources, scale, opts.Workers)
+	st := computePaths(lcc, sources, scale, opts.Workers)
 	res.AvgPathLen = st.AvgLen
 	res.PathLenDist = st.Dist
 	res.Diameter = st.Diameter
@@ -96,8 +101,8 @@ func Compute(g *graph.Graph, opts Options) *Result {
 	// Degree-dependent betweenness over the LCC.
 	sum := make(map[int]float64)
 	cnt := make(map[int]int)
-	for u := 0; u < lcc.N(); u++ {
-		k := lcc.Degree(u)
+	for u := 0; u < lcc.n; u++ {
+		k := int(lccDeg[u])
 		cnt[k]++
 		sum[k] += st.Betweenness[u]
 	}

@@ -12,7 +12,11 @@ import (
 // one; for the connected non-negative matrices used here the Perron root of
 // A + I is 1 + lambda1(A).
 func Lambda1(g *graph.Graph) float64 {
-	n := g.N()
+	// CSR endpoint view: the sparse matrix-vector products below touch two
+	// flat arrays instead of chasing per-node neighbor slices, in the same
+	// per-endpoint order, so the iteration converges bit-identically.
+	c := g.CSR()
+	n := c.N()
 	if n == 0 {
 		return 0
 	}
@@ -27,7 +31,7 @@ func Lambda1(g *graph.Graph) float64 {
 		copy(y, x)
 		for u := 0; u < n; u++ {
 			xu := x[u]
-			for _, v := range g.Neighbors(u) {
+			for _, v := range c.Endpoints(u) {
 				y[v] += xu
 			}
 		}

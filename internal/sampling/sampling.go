@@ -31,6 +31,53 @@ type Access interface {
 	NumNodes() int
 }
 
+// Prefetcher is an optional Access extension implemented by batching
+// transports (oracle.Client): Prefetch warms the neighbor cache for nodes
+// the caller is certain to query, amortizing per-query round-trip overhead.
+// It is purely advisory — budget accounting and crawl results are identical
+// with and without it — and implementations must tolerate ids that are
+// already cached or in flight.
+type Prefetcher interface {
+	Prefetch(ids []int)
+}
+
+// prefetcher drives frontier prefetching for the BFS-family crawlers. The
+// crawlers hand it the frontier prefix that is certain to be queried — the
+// first `remaining-budget` queue entries, which FIFO consumption reaches
+// before the budget can run out — so a batching Access never fetches a node
+// the crawl would not have paid for anyway.
+type prefetcher struct {
+	p  Prefetcher
+	pf int // length of the queue prefix already prefetched
+}
+
+func newPrefetcher(access Access) prefetcher {
+	p, _ := access.(Prefetcher)
+	return prefetcher{p: p}
+}
+
+// extend prefetches the not-yet-prefetched part of the certain prefix.
+func (ps *prefetcher) extend(queue []int, remaining int) {
+	if ps.p == nil {
+		return
+	}
+	want := len(queue)
+	if remaining < want {
+		want = remaining
+	}
+	if ps.pf < want {
+		ps.p.Prefetch(queue[ps.pf:want])
+		ps.pf = want
+	}
+}
+
+// consume notes that the queue head was dequeued.
+func (ps *prefetcher) consume() {
+	if ps.pf > 0 {
+		ps.pf--
+	}
+}
+
 // GraphAccess adapts a concrete graph to the Access interface while counting
 // distinct queried nodes, so experiments can report query budgets.
 type GraphAccess struct {
@@ -178,9 +225,12 @@ func BFS(access Access, seed int, fraction float64) (*Crawl, error) {
 	rec := newRecorder(access)
 	visited := map[int]struct{}{seed: {}}
 	queue := []int{seed}
+	ps := newPrefetcher(access)
 	for len(queue) > 0 && rec.numQueried() < budget {
+		ps.extend(queue, budget-rec.numQueried())
 		u := queue[0]
 		queue = queue[1:]
+		ps.consume()
 		for _, v := range rec.query(u) {
 			if _, ok := visited[v]; !ok {
 				visited[v] = struct{}{}
@@ -205,9 +255,12 @@ func Snowball(access Access, seed, k int, fraction float64, r *rand.Rand) (*Craw
 	rec := newRecorder(access)
 	visited := map[int]struct{}{seed: {}}
 	queue := []int{seed}
+	ps := newPrefetcher(access)
 	for len(queue) > 0 && rec.numQueried() < budget {
+		ps.extend(queue, budget-rec.numQueried())
 		u := queue[0]
 		queue = queue[1:]
+		ps.consume()
 		nb := rec.query(u)
 		fresh := distinctUnvisited(nb, visited)
 		r.Shuffle(len(fresh), func(i, j int) { fresh[i], fresh[j] = fresh[j], fresh[i] })
@@ -237,14 +290,20 @@ func ForestFire(access Access, seed int, pf float64, fraction float64, r *rand.R
 	rec := newRecorder(access)
 	visited := map[int]struct{}{seed: {}}
 	queue := []int{seed}
+	ps := newPrefetcher(access)
 	for rec.numQueried() < budget {
 		if len(queue) == 0 {
 			// Fire died: revive from a random sampled node.
 			q := rec.crawl.Queried
 			queue = append(queue, q[r.IntN(len(q))])
 		}
+		// Revived nodes are already queried, so the budget-bounded prefix
+		// under-approximates what will be queried — prefetch never pays
+		// for a node the crawl would not.
+		ps.extend(queue, budget-rec.numQueried())
 		u := queue[0]
 		queue = queue[1:]
+		ps.consume()
 		nb := rec.query(u)
 		fresh := distinctUnvisited(nb, visited)
 		r.Shuffle(len(fresh), func(i, j int) { fresh[i], fresh[j] = fresh[j], fresh[i] })
