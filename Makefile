@@ -10,7 +10,7 @@ BENCHTIME ?= 5x
 # anything (queries/s especially).
 ORACLE_BENCHTIME ?= 2000x
 
-.PHONY: build test race bench bench-json bench-oracle-json bench-props-json oracle-e2e lint fuzz ci
+.PHONY: build test race bench bench-json bench-oracle-json bench-props-json bench-restored-json oracle-e2e restored-e2e lint fuzz ci
 
 build:
 	$(GO) build ./...
@@ -56,11 +56,25 @@ bench-oracle-json:
 bench-props-json:
 	$(call record-bench,$(GO) test -run='^$$' -bench='^(BenchmarkComputeAll|BenchmarkBrandesAllSources)' -benchmem -benchtime=$(BENCHTIME) ./internal/props && $(GO) test -run='^$$' -bench='^(BenchmarkOracleNeighbors|BenchmarkServerNeighborsHandler|BenchmarkOracleBFSCrawl)' -benchmem -benchtime=$(ORACLE_BENCHTIME) ./internal/oracle,BENCH_props.json)
 
+# Restoration-as-a-service baseline: service throughput when every job is
+# new work (jobs/s = 1e9/ns-per-op), the cache-hit and dedup fast paths,
+# and the submit-time canonicalization cost. The paths are microsecond-to-
+# millisecond scale, so they get the oracle iteration count.
+bench-restored-json:
+	$(call record-bench,$(GO) test -run='^$$' -bench='^BenchmarkRestored' -benchmem -benchtime=$(ORACLE_BENCHTIME) ./internal/restored,BENCH_restored.json)
+
 # Client/server acceptance gate: boot graphd on a random port with
 # injected faults, crawl it over HTTP under -race, require byte-identical
 # output vs the in-memory path, resume from the journal, restore offline.
 oracle-e2e:
 	bash scripts/oracle_e2e.sh
+
+# Restoration-as-a-service acceptance gate: boot a race-enabled restored on
+# a random port, submit -> poll -> download, require downloads
+# byte-identical to the offline restore, assert the cache/singleflight
+# counters, round-trip the binary codec through gengraph.
+restored-e2e:
+	bash scripts/restored_e2e.sh
 
 lint:
 	$(GO) vet ./...
@@ -71,5 +85,6 @@ lint:
 fuzz:
 	$(GO) test ./internal/core -run='^FuzzFenwick$$' -fuzz='^FuzzFenwick$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sampling -run='^FuzzReadCrawlJSON$$' -fuzz='^FuzzReadCrawlJSON$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/restored -run='^FuzzCacheKeyCanonicalization$$' -fuzz='^FuzzCacheKeyCanonicalization$$' -fuzztime=$(FUZZTIME)
 
-ci: lint build test race fuzz bench oracle-e2e
+ci: lint build test race fuzz bench oracle-e2e restored-e2e

@@ -88,7 +88,9 @@ func main() {
 	var err error
 	switch *method {
 	case "rw":
-		c, err = sampling.RandomWalk(access, start, *fraction, r)
+		// The shared seeded entry point, so a daemon-side crawl (restored's
+		// graphd job source) replays exactly this command's walk.
+		c, err = sampling.SeededRandomWalk(access, *seedNode, *fraction, *seed)
 	case "bfs":
 		c, err = sampling.BFS(access, start, *fraction)
 	case "snowball":

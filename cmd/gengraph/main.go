@@ -1,11 +1,13 @@
 // Command gengraph generates synthetic social-graph datasets — the
 // stand-ins for the paper's Table I graphs — or generic random graphs, and
-// writes them as edge-list files.
+// writes them as edge-list files. It also converts binary SGRB graph files
+// (restore -out-binary, restored's /graph downloads) back to edge lists.
 //
 // Usage:
 //
 //	gengraph -dataset anybeat -scale 0.1 -seed 1 -out anybeat.edges
 //	gengraph -model hk -n 10000 -m 4 -p 0.5 -seed 1 -out hk.edges
+//	gengraph -from-binary restored.sgrb -out restored.edges
 package main
 
 import (
@@ -32,12 +34,19 @@ func main() {
 		gamma   = flag.Float64("gamma", 2.5, "power-law exponent (config)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		out     = flag.String("out", "", "output edge-list path (default stdout)")
+		fromBin = flag.String("from-binary", "", "read a binary SGRB graph file and write it as an edge list")
 	)
 	flag.Parse()
 
 	r := rand.New(rand.NewPCG(*seed, *seed^0x5bd1e995))
 	var g *graph.Graph
 	switch {
+	case *fromBin != "":
+		var err error
+		g, err = graph.LoadBinary(*fromBin)
+		if err != nil {
+			log.Fatal(err)
+		}
 	case *dataset != "":
 		d, err := gen.ByName(*dataset)
 		if err != nil {
@@ -63,7 +72,7 @@ func main() {
 		clean, _ := graph.Preprocess(g)
 		g = clean
 	default:
-		log.Fatal("one of -dataset or -model is required")
+		log.Fatal("one of -dataset, -model or -from-binary is required")
 	}
 
 	fmt.Fprintf(os.Stderr, "generated graph: n=%d m=%d avg degree=%.2f\n", g.N(), g.M(), g.AvgDegree())

@@ -12,20 +12,15 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand/v2"
 	"net"
-	"net/http"
-	"os"
-	"os/signal"
 	"strconv"
 	"strings"
-	"syscall"
-	"time"
 
+	"sgr/internal/daemon"
 	"sgr/internal/gen"
 	"sgr/internal/graph"
 	"sgr/internal/oracle"
@@ -97,38 +92,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	bound := ln.Addr().String()
 	if *addrFile != "" {
-		// Write-then-rename so script watchers never read a partial file.
-		tmp := *addrFile + ".tmp"
-		if err := os.WriteFile(tmp, []byte(bound+"\n"), 0o644); err != nil {
-			log.Fatal(err)
-		}
-		if err := os.Rename(tmp, *addrFile); err != nil {
+		if err := daemon.WriteAddrFile(*addrFile, ln.Addr().String()); err != nil {
 			log.Fatal(err)
 		}
 	}
-	log.Printf("serving graph n=%d m=%d (%d private nodes) on http://%s", g.N(), g.M(), len(priv), bound)
+	log.Printf("serving graph n=%d m=%d (%d private nodes) on http://%s", g.N(), g.M(), len(priv), ln.Addr())
 
-	hs := &http.Server{Handler: srv.Handler()}
-	errc := make(chan error, 1)
-	go func() { errc <- hs.Serve(ln) }()
-
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errc:
+	if err := daemon.Serve(ln, srv.Handler(), log.Printf); err != nil {
 		log.Fatal(err)
-	case sig := <-sigc:
-		log.Printf("caught %v, shutting down", sig)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	if err := hs.Shutdown(ctx); err != nil {
-		log.Printf("shutdown: %v", err)
-	}
-	log.Printf("served %d neighbor queries (%d rate-limited, %d injected faults)",
-		srv.QueriesServed(), srv.RateLimited(), srv.Faulted())
+	log.Printf("served %d neighbor queries (%d rate-limited, %d injected faults, %d clients)",
+		srv.QueriesServed(), srv.RateLimited(), srv.Faulted(), srv.ActiveClients())
 }
 
 // privateNodes merges the explicit -private list with a seeded

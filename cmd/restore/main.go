@@ -13,7 +13,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand/v2"
 
 	"sgr/internal/core"
 	"sgr/internal/gen"
@@ -39,7 +38,8 @@ func main() {
 		method   = flag.String("method", "proposed", "proposed or gjoka")
 		rc       = flag.Float64("rc", 500, "rewiring attempt coefficient")
 		seed     = flag.Uint64("seed", 1, "random seed")
-		out      = flag.String("out", "", "write the restored graph here")
+		out      = flag.String("out", "", "write the restored graph here (edge list)")
+		outBin   = flag.String("out-binary", "", "write the restored graph here in the binary SGRB codec (gengraph -from-binary reads it)")
 		compare  = flag.Bool("compare", true, "compute the 12-property L1 comparison")
 		workers  = flag.Int("workers", parallel.DefaultWorkers(),
 			"worker bound for the property-comparison loops (deterministic for a fixed value)")
@@ -55,7 +55,10 @@ func main() {
 		log.Fatal(err)
 	}
 	defer stopProf()
-	r := rand.New(rand.NewPCG(*seed, *seed^0xc2b2ae35))
+	// The canonical pipeline stream: restored (the job daemon) uses the
+	// same constructor, which is what makes its results byte-identical to
+	// this command at the same seed.
+	r := core.PipelineRand(*seed)
 	var g *graph.Graph
 	switch {
 	case *path != "":
@@ -134,6 +137,12 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *out)
+	}
+	if *outBin != "" {
+		if err := graph.SaveBinary(*outBin, res.Graph); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (binary)\n", *outBin)
 	}
 	if *compare && g != nil {
 		// -workers bounds the parallel loops inside each property

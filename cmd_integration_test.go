@@ -141,6 +141,44 @@ func TestCLIOraclePipeline(t *testing.T) {
 	}
 }
 
+// TestCLIBinaryRoundTrip drives the SGRB codec through the command line:
+// restore -out-binary writes it, gengraph -from-binary reads it back, and
+// the converted edge list must be byte-identical to restore's own -out.
+func TestCLIBinaryRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI round trip is slow (go run compiles each tool)")
+	}
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.edges")
+	crawlPath := filepath.Join(dir, "crawl.json")
+	runTool(t, "./cmd/gengraph", "-dataset", "anybeat", "-scale", "0.05", "-seed", "3", "-out", graphPath)
+	runTool(t, "./cmd/crawl", "-graph", graphPath, "-method", "rw",
+		"-fraction", "0.1", "-seed", "3", "-out", filepath.Join(dir, "sub.edges"),
+		"-save-crawl", crawlPath)
+
+	edgesPath := filepath.Join(dir, "restored.edges")
+	binPath := filepath.Join(dir, "restored.sgrb")
+	out := runTool(t, "./cmd/restore", "-crawl", crawlPath, "-rc", "5", "-seed", "3",
+		"-out", edgesPath, "-out-binary", binPath)
+	if !strings.Contains(out, "(binary)") {
+		t.Fatalf("restore did not report the binary output: %s", out)
+	}
+
+	roundTrip := filepath.Join(dir, "roundtrip.edges")
+	runTool(t, "./cmd/gengraph", "-from-binary", binPath, "-out", roundTrip)
+	want, err := os.ReadFile(edgesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(roundTrip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("binary round trip changed the edge list")
+	}
+}
+
 // TestCLIExperimentSmoke runs the experiment driver on its smallest
 // configuration to guard the artifact-regeneration entry point.
 func TestCLIExperimentSmoke(t *testing.T) {

@@ -59,6 +59,24 @@
 // implementation, and `make bench-json` records its perf baseline in
 // BENCH_rewire.json (see README.md, "The adjset engine").
 //
+// Restoration itself is also served as a service: internal/restored plus
+// cmd/restored run the whole crawl → dK-series → rewiring pipeline behind
+// an asynchronous HTTP/JSON job API (POST /v1/jobs with an inline crawl,
+// an uploaded crawl journal, or a graphd URL to crawl server-side; poll
+// GET /v1/jobs/{id}; download /graph and /props). Jobs are content-
+// addressed — the job id is the SHA-256 of the canonicalized crawl bytes,
+// pipeline options, and seed — so identical submissions, however spelled,
+// singleflight onto one pipeline run and are answered from a result cache
+// (in memory, optionally persisted on disk) at a fraction of the cost.
+// Every job pins its seed through core.PipelineRand, making daemon results
+// byte-identical to `restore -seed` run offline on the same crawl; results
+// travel in the binary SGRB codec of graph.WriteBinary/ReadBinary
+// (versioned, checksummed, round-trip exact including multi-edges,
+// self-loops and adjacency order), which restore -out-binary writes and
+// gengraph -from-binary reads. Both daemons expose /v1/healthz and a
+// plain-text /v1/metrics through the shared internal/daemon plumbing; see
+// README.md, "Restoration as a service".
+//
 // The read side runs on graph.CSR, an immutable int32 compressed-sparse-
 // row snapshot cached next to Index() and invalidated by every mutator:
 // one endpoint view in original adjacency order (served zero-copy as

@@ -33,6 +33,16 @@ func (o Options) rc() float64 {
 	return o.RC
 }
 
+// PipelineRand returns the canonical RNG for a seeded restoration pipeline:
+// the stream cmd/restore has always derived from its -seed flag. Every
+// entry point that promises "byte-identical to cmd/restore at the same
+// seed" — the restored job daemon above all — must draw its Options.Rand
+// from here, so the promise is pinned to one constructor instead of
+// duplicated constants.
+func PipelineRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0xc2b2ae35))
+}
+
 // Result is a restored graph plus everything needed to audit the run.
 type Result struct {
 	// Graph is the generated graph G-tilde.

@@ -1,0 +1,96 @@
+// Package daemon holds the plumbing shared by this repository's network
+// daemons (graphd, restored): load-balancer endpoints (/v1/healthz and a
+// plain-text /v1/metrics), the atomic address-file handshake that lets
+// scripts bind random ports race-free, and graceful signal-driven shutdown.
+// Keeping it in one place guarantees the daemons stay operationally
+// interchangeable — one probe configuration, one metrics scrape format.
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+)
+
+// Metric is one counter or gauge exposed on /v1/metrics.
+type Metric struct {
+	Name  string
+	Value int64
+}
+
+// MetricsHandler serves the collected metrics as plain text, one
+// "name value" line per metric in the order collected — the Prometheus
+// exposition subset every scraper and shell script can parse.
+func MetricsHandler(collect func() []Metric) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		buf := make([]byte, 0, 512)
+		for _, m := range collect() {
+			buf = append(buf, m.Name...)
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, m.Value, 10)
+			buf = append(buf, '\n')
+		}
+		w.Write(buf)
+	})
+}
+
+// HealthzHandler serves a liveness probe: 200 with {"status":"ok"} plus the
+// daemon's details (node counts, queue depths — whatever the caller
+// supplies). Details may be nil.
+func HealthzHandler(details func() map[string]any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body := map[string]any{"status": "ok"}
+		if details != nil {
+			for k, v := range details() {
+				body[k] = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(body)
+	})
+}
+
+// WriteAddrFile publishes a bound listen address for script consumers.
+// Write-then-rename, so a watcher polling for the file never reads a
+// partial address.
+func WriteAddrFile(path, addr string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Serve runs handler on ln until SIGINT/SIGTERM arrives or the server
+// fails, then drains in-flight requests with a bounded graceful shutdown.
+// logf reports lifecycle events (log.Printf-shaped); the returned error is
+// non-nil only for a server failure, not a clean signal exit.
+func Serve(ln net.Listener, handler http.Handler, logf func(format string, args ...any)) error {
+	hs := &http.Server{Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	select {
+	case err := <-errc:
+		return fmt.Errorf("daemon: serve: %w", err)
+	case sig := <-sigc:
+		logf("caught %v, shutting down", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		logf("shutdown: %v", err)
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package daemon
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMetricsHandlerFormat(t *testing.T) {
+	h := MetricsHandler(func() []Metric {
+		return []Metric{
+			{Name: "svc_queries_served", Value: 42},
+			{Name: "svc_rate_limited", Value: 0},
+			{Name: "svc_active_clients", Value: -1}, // gauges may be negative
+		}
+	})
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want text/plain", ct)
+	}
+	want := "svc_queries_served 42\nsvc_rate_limited 0\nsvc_active_clients -1\n"
+	if got := rr.Body.String(); got != want {
+		t.Fatalf("metrics body = %q, want %q", got, want)
+	}
+}
+
+func TestHealthzHandler(t *testing.T) {
+	h := HealthzHandler(func() map[string]any { return map[string]any{"nodes": 7} })
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/healthz", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" || body["nodes"] != float64(7) {
+		t.Fatalf("healthz body = %v", body)
+	}
+
+	// nil details is allowed.
+	rr = httptest.NewRecorder()
+	HealthzHandler(nil).ServeHTTP(rr, httptest.NewRequest("GET", "/v1/healthz", nil))
+	if rr.Code != 200 || !strings.Contains(rr.Body.String(), `"status":"ok"`) {
+		t.Fatalf("nil-details healthz = %d %q", rr.Code, rr.Body.String())
+	}
+}
+
+func TestWriteAddrFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "addr")
+	if err := WriteAddrFile(path, "127.0.0.1:12345"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "127.0.0.1:12345\n" {
+		t.Fatalf("addr file contents = %q", data)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	// Re-publishing (daemon restart on the same addr file) must replace.
+	if err := WriteAddrFile(path, "127.0.0.1:54321"); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(path)
+	if string(data) != "127.0.0.1:54321\n" {
+		t.Fatalf("rewritten addr file contents = %q", data)
+	}
+}

@@ -87,6 +87,18 @@ type Config struct {
 	// sampling.NewGraphAccess. Evaluations are byte-identical across any
 	// two Access implementations serving the same neighbor lists.
 	Access func(g *graph.Graph) sampling.Access
+	// Restorer, when non-nil, performs the generation step of the two
+	// restoration methods (Gjoka et al., Proposed) in place of the
+	// in-process core.Restore/RestoreGjoka calls — the
+	// restoration-as-a-service seam, mirroring what Access is for crawling.
+	// A deployment whose protocol pins per-cell seeds can route generation
+	// through a shared restored job service and let its content-addressed
+	// cache dedupe identical (crawl, options) cells across sweep
+	// configurations. Implementations must be concurrency-safe (cells run
+	// in parallel) and deterministic given (method, crawl, opts): Evaluate's
+	// byte-identical-at-any-worker-count guarantee extends to any Restorer
+	// honoring that contract, exactly as it does to Access.
+	Restorer func(method Method, c *sampling.Crawl, opts core.Options) (*core.Result, error)
 	// PropOpts tunes property computation (pivot thresholds etc.).
 	PropOpts props.Options
 	// Workers bounds how many evaluation cells — independent
@@ -137,6 +149,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Access == nil {
 		c.Access = func(g *graph.Graph) sampling.Access { return sampling.NewGraphAccess(g) }
+	}
+	if c.Restorer == nil {
+		c.Restorer = DefaultRestorer
 	}
 	// Property computation inside a cell defaults to serial: the engine's
 	// parallelism unit is the cell, and nesting GOMAXPROCS-wide property
@@ -449,18 +464,20 @@ func generate(g *graph.Graph, cfg Config, m Method, seed int, walk *sampling.Cra
 	case MethodRW:
 		sg, d := subgraphOf(walk)
 		return sg, d, 0, nil
-	case MethodGjoka:
-		res, err := core.RestoreGjoka(walk, core.Options{RC: cfg.RC, Rand: r})
-		if err != nil {
-			return nil, 0, 0, err
-		}
-		return res.Graph, res.TotalTime, res.RewireTime, nil
-	case MethodProposed:
-		res, err := core.Restore(walk, core.Options{RC: cfg.RC, Rand: r})
+	case MethodGjoka, MethodProposed:
+		res, err := cfg.Restorer(m, walk, core.Options{RC: cfg.RC, Rand: r})
 		if err != nil {
 			return nil, 0, 0, err
 		}
 		return res.Graph, res.TotalTime, res.RewireTime, nil
 	}
 	return nil, 0, 0, fmt.Errorf("unknown method %q", m)
+}
+
+// DefaultRestorer is Config.Restorer's default: the in-process pipeline.
+func DefaultRestorer(m Method, c *sampling.Crawl, opts core.Options) (*core.Result, error) {
+	if m == MethodGjoka {
+		return core.RestoreGjoka(c, opts)
+	}
+	return core.Restore(c, opts)
 }

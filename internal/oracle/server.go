@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sgr/internal/daemon"
 	"sgr/internal/graph"
 )
 
@@ -73,6 +74,12 @@ type Server struct {
 	rateLimited atomic.Int64 // 429s issued
 	faulted     atomic.Int64 // injected 503s
 
+	// clientMu/clientSeen track distinct client keys across the data
+	// endpoints for the /v1/metrics active-client gauge. The limiter's own
+	// bucket map cannot serve here: unlimited servers never populate it.
+	clientMu   sync.Mutex
+	clientSeen map[string]struct{}
+
 	// now and sleep are swappable in tests.
 	now   func() time.Time
 	sleep func(time.Duration)
@@ -87,14 +94,15 @@ func NewServer(g *graph.Graph, cfg ServerConfig) *Server {
 		cfg.MaxBatch = DefaultMaxBatch
 	}
 	s := &Server{
-		g:        g,
-		csr:      g.CSR(),
-		cfg:      cfg,
-		private:  make(map[int]struct{}, len(cfg.Private)),
-		limiter:  NewLimiter(cfg.Rate, cfg.Burst),
-		faultRng: rand.New(rand.NewPCG(cfg.FaultSeed, cfg.FaultSeed^0x94d049bb133111eb)),
-		now:      time.Now,
-		sleep:    time.Sleep,
+		g:          g,
+		csr:        g.CSR(),
+		cfg:        cfg,
+		private:    make(map[int]struct{}, len(cfg.Private)),
+		clientSeen: make(map[string]struct{}),
+		limiter:    NewLimiter(cfg.Rate, cfg.Burst),
+		faultRng:   rand.New(rand.NewPCG(cfg.FaultSeed, cfg.FaultSeed^0x94d049bb133111eb)),
+		now:        time.Now,
+		sleep:      time.Sleep,
 	}
 	for _, u := range cfg.Private {
 		s.private[u] = struct{}{}
@@ -112,6 +120,38 @@ func (s *Server) RateLimited() int64 { return s.rateLimited.Load() }
 // Faulted reports how many injected 503s were served.
 func (s *Server) Faulted() int64 { return s.faulted.Load() }
 
+// ActiveClients reports how many distinct client keys (X-API-Key, or
+// remote host) have hit the data endpoints.
+func (s *Server) ActiveClients() int {
+	s.clientMu.Lock()
+	defer s.clientMu.Unlock()
+	return len(s.clientSeen)
+}
+
+// noteClient records the requester for the active-client gauge.
+func (s *Server) noteClient(r *http.Request) {
+	key := clientKey(r)
+	s.clientMu.Lock()
+	s.clientSeen[key] = struct{}{}
+	s.clientMu.Unlock()
+}
+
+// Metrics returns the /v1/metrics snapshot. The names are shared with
+// restored's scrape format so one dashboard covers both daemons.
+func (s *Server) Metrics() []daemon.Metric {
+	return []daemon.Metric{
+		{Name: "graphd_queries_served", Value: s.queries.Load()},
+		{Name: "graphd_rate_limited", Value: s.rateLimited.Load()},
+		{Name: "graphd_faulted", Value: s.faulted.Load()},
+		{Name: "graphd_active_clients", Value: int64(s.ActiveClients())},
+	}
+}
+
+// healthz describes the served graph for the liveness probe.
+func (s *Server) healthz() map[string]any {
+	return map[string]any{"nodes": s.g.N(), "edges": s.g.M()}
+}
+
 // Handler returns the HTTP handler implementing the wire protocol.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -120,10 +160,17 @@ func (s *Server) Handler() http.Handler {
 	if s.cfg.MaxBatch > 0 {
 		mux.HandleFunc("GET /v1/neighbors", s.handleNeighborsBatch)
 	}
+	// Load-balancer endpoints, shared with restored via internal/daemon.
+	// Probes and scrapes bypass the injected fault/latency machinery and
+	// the rate limiter — health checks must see the daemon, not the
+	// simulated API weather.
+	mux.Handle("GET /v1/healthz", daemon.HealthzHandler(s.healthz))
+	mux.Handle("GET /v1/metrics", daemon.MetricsHandler(s.Metrics))
 	return mux
 }
 
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	s.noteClient(r)
 	s.injectLatency()
 	maxBatch := s.cfg.MaxBatch
 	if maxBatch < 0 {
@@ -133,6 +180,7 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	s.noteClient(r)
 	if ok, retryAfter := s.limiter.Allow(clientKey(r), s.now()); !ok {
 		s.rateLimited.Add(1)
 		w.Header().Set("Retry-After", retryAfterValue(retryAfter))
@@ -198,6 +246,7 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 // batch; hubs whose lists exceed PageSize return their first page with
 // next_cursor set, and clients continue on the single-node endpoint.
 func (s *Server) handleNeighborsBatch(w http.ResponseWriter, r *http.Request) {
+	s.noteClient(r)
 	if ok, retryAfter := s.limiter.Allow(clientKey(r), s.now()); !ok {
 		s.rateLimited.Add(1)
 		w.Header().Set("Retry-After", retryAfterValue(retryAfter))

@@ -3,9 +3,11 @@ package oracle
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -204,5 +206,63 @@ func TestServerInjectedFaults(t *testing.T) {
 	}
 	if srv.Faulted() != int64(got503) {
 		t.Fatalf("Faulted() = %d, observed %d", srv.Faulted(), got503)
+	}
+}
+
+// TestServerHealthzAndMetrics covers the load-balancer endpoints: a probe
+// that always answers ok, and a plain-text scrape counting served queries,
+// rate-limit rejections, faults and distinct clients.
+func TestServerHealthzAndMetrics(t *testing.T) {
+	g := testGraph(t)
+	srv, ts := startServer(t, g, ServerConfig{Rate: 1e6, Burst: 1})
+	var hz map[string]any
+	if st := getAs(t, ts.URL+"/v1/healthz", &hz); st != http.StatusOK {
+		t.Fatalf("healthz status %d", st)
+	}
+	if hz["status"] != "ok" || hz["nodes"] != float64(g.N()) || hz["edges"] != float64(g.M()) {
+		t.Fatalf("healthz body = %v", hz)
+	}
+
+	// Two distinct clients query; the second's burst-exhausting spam piles
+	// up rate-limit rejections.
+	for _, key := range []string{"alice", "bob"} {
+		req, _ := http.NewRequest("GET", ts.URL+"/v1/nodes/0/neighbors", nil)
+		req.Header.Set("X-API-Key", key)
+		for i := 0; i < 3; i++ {
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := make(map[string]int64)
+	for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+		var name string
+		var v int64
+		if _, err := fmt.Sscanf(line, "%s %d", &name, &v); err != nil {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		metrics[name] = v
+	}
+	if metrics["graphd_queries_served"] != srv.QueriesServed() || metrics["graphd_queries_served"] < 2 {
+		t.Fatalf("queries_served metric %d, server says %d", metrics["graphd_queries_served"], srv.QueriesServed())
+	}
+	if metrics["graphd_rate_limited"] != srv.RateLimited() {
+		t.Fatalf("rate_limited metric %d, server says %d", metrics["graphd_rate_limited"], srv.RateLimited())
+	}
+	if metrics["graphd_active_clients"] != 2 {
+		t.Fatalf("active_clients = %d, want 2", metrics["graphd_active_clients"])
+	}
+	// The probe/scrape endpoints themselves never count as clients or
+	// queries and are exempt from the rate limiter.
+	if srv.ActiveClients() != 2 {
+		t.Fatalf("ActiveClients = %d after scrape, want 2", srv.ActiveClients())
 	}
 }

@@ -1,0 +1,134 @@
+// Package restored turns graph restoration into an asynchronous network
+// service: a bounded job queue and worker pool running the full
+// crawl → dK-series → rewiring pipeline behind an HTTP/JSON API, with a
+// content-addressed result cache in front of the pipeline.
+//
+// The paper's workflow ends with a third party turning a random-walk crawl
+// into a restored graph; cmd/restore does that inline, burning a core for
+// the duration of every request and recomputing identical submissions from
+// scratch. This package is the serving-side answer: jobs are accepted
+// asynchronously (POST /v1/jobs), deduplicated — the job id IS the SHA-256
+// of the canonicalized request, so concurrent identical submissions
+// singleflight onto one pipeline run — and results are cached under the
+// same key, in memory and optionally on disk, encoded once in the binary
+// SGRB graph codec and served as zero-copy byte slices.
+//
+// Every job pins a caller-supplied seed and draws its pipeline RNG from
+// core.PipelineRand, so a job's restored graph is byte-identical to
+// `restore -seed` run offline on the same crawl — the cache can therefore
+// answer for the offline tool, not just for itself.
+//
+// The wire protocol (version 1):
+//
+//	POST /v1/jobs                     JobSpec -> JobStatus (202 new, 200 known)
+//	GET  /v1/jobs/{id}                -> JobStatus
+//	GET  /v1/jobs/{id}/graph          -> binary SGRB bytes (?format=edgelist for text)
+//	GET  /v1/jobs/{id}/props          -> the 12 structural properties, JSON
+//	GET  /v1/healthz, /v1/metrics     -> shared daemon endpoints
+//
+// A JobSpec names exactly one crawl source: an inline crawl JSON (the
+// sampling package's on-disk format), an uploaded oracle crawl journal, or
+// a graphd URL the daemon crawls server-side through oracle.Client.
+package restored
+
+import "encoding/json"
+
+// JobSpec is the body of POST /v1/jobs. Exactly one of Crawl, Journal, or
+// Graphd must be set.
+type JobSpec struct {
+	// Seed pins the pipeline RNG (and, for Graphd jobs, the crawl RNG).
+	// Results are byte-identical to `restore -seed` on the same crawl.
+	Seed uint64 `json:"seed"`
+	// Method is "proposed" (default) or "gjoka".
+	Method string `json:"method,omitempty"`
+	// RC is the rewiring-attempt coefficient; <= 0 selects the paper
+	// default (500). Submissions with the default spelled explicitly hash
+	// identically to ones that omit it.
+	RC float64 `json:"rc,omitempty"`
+	// SkipRewiring and ForbidDegenerate mirror core.Options.
+	SkipRewiring     bool `json:"skip_rewiring,omitempty"`
+	ForbidDegenerate bool `json:"forbid_degenerate,omitempty"`
+
+	// Crawl is an inline crawl JSON (sampling.WriteJSON format). Whitespace
+	// and field order do not affect the job identity: the crawl is
+	// canonicalized before hashing.
+	Crawl json.RawMessage `json:"crawl,omitempty"`
+	// Journal is the text of an oracle crawl journal (crawl -url -journal);
+	// it must contain a completed walk record.
+	Journal string `json:"journal,omitempty"`
+	// Graphd asks the daemon to crawl a graphd server-side first.
+	Graphd *GraphdSource `json:"graphd,omitempty"`
+}
+
+// GraphdSource describes a server-side crawl: the daemon random-walks the
+// named graphd with the job's seed through oracle.Client, then feeds the
+// crawl to the pipeline. The crawl is byte-identical to
+// `crawl -url URL -seed SEED`, so the result joins the same cache line an
+// offline submission of that crawl would.
+type GraphdSource struct {
+	URL      string  `json:"url"`
+	Fraction float64 `json:"fraction"`
+	// SeedNode pins the walk's start node; absent (or negative) draws it
+	// from the seed stream like `crawl` does.
+	SeedNode *int `json:"seed_node,omitempty"`
+	// APIKey and Retries are transport details (rate-limit identity,
+	// retry bound); they do not enter the job identity.
+	APIKey  string `json:"api_key,omitempty"`
+	Retries int    `json:"retries,omitempty"`
+}
+
+// Job states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// Job phases (the progress detail within StateRunning).
+const (
+	PhaseCrawling  = "crawling"
+	PhaseRestoring = "restoring"
+	PhaseEncoding  = "encoding"
+)
+
+// JobStatus is the response of POST /v1/jobs and GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Phase string `json:"phase,omitempty"`
+	// Cached reports that the result was served from the content-addressed
+	// cache without running the pipeline.
+	Cached bool       `json:"cached,omitempty"`
+	Error  string     `json:"error,omitempty"`
+	Result *JobResult `json:"result,omitempty"`
+}
+
+// JobResult summarizes a finished restoration.
+type JobResult struct {
+	Nodes          int     `json:"nodes"`
+	Edges          int     `json:"edges"`
+	NumAdded       int     `json:"num_added"`
+	RewireAccepted int     `json:"rewire_accepted"`
+	RewireAttempts int     `json:"rewire_attempts"`
+	TotalMS        float64 `json:"total_ms"`
+	RewireMS       float64 `json:"rewire_ms"`
+	// GraphBytes is the size of the binary-codec download.
+	GraphBytes int `json:"graph_bytes"`
+}
+
+// Error is the JSON body of every non-2xx response.
+type Error struct {
+	Code   string `json:"error"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Error codes.
+const (
+	ErrCodeBadRequest   = "bad_request"
+	ErrCodeUnknownJob   = "unknown_job"
+	ErrCodeNotReady     = "not_ready"
+	ErrCodeJobFailed    = "job_failed"
+	ErrCodeQueueFull    = "queue_full"
+	ErrCodeShuttingDown = "shutting_down"
+)

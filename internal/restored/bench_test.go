@@ -1,0 +1,114 @@
+package restored
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchService builds a quiet single-worker service (deterministic
+// scheduling; the benchmarked axis is the per-job path, not pool width).
+func benchService(b *testing.B, cfg Config) *Service {
+	b.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(svc.Close)
+	return svc
+}
+
+// BenchmarkRestoredPipelineJobs measures service throughput when every
+// submission is new work: submit -> queue -> worker -> full pipeline ->
+// encode -> done. ns/op is the inverse of jobs/s.
+func BenchmarkRestoredPipelineJobs(b *testing.B) {
+	_, c := testGraphAndCrawl(b, 3, 0.15)
+	raw := crawlJSONBytes(b, c)
+	svc := benchService(b, Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh seed per iteration defeats both cache tiers, so every
+		// iteration pays the pipeline.
+		job, _, err := svc.Submit(&JobSpec{Seed: uint64(i) + 1, RC: 5, Crawl: raw})
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-job.Done()
+		if _, err := job.Result(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRestoredCacheHit measures the cache-hit path end to end:
+// submit -> queue -> worker -> content-addressed cache -> done, with the
+// job table forgetting between iterations so the result cache (not the
+// dedup short-circuit) answers.
+func BenchmarkRestoredCacheHit(b *testing.B) {
+	_, c := testGraphAndCrawl(b, 3, 0.15)
+	raw := crawlJSONBytes(b, c)
+	svc := benchService(b, Config{})
+	warm, _, err := svc.Submit(&JobSpec{Seed: 1, RC: 5, Crawl: raw})
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-warm.Done()
+	if _, err := warm.Result(); err != nil {
+		b.Fatal(err)
+	}
+	svc.forget(warm.ID)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job, _, err := svc.Submit(&JobSpec{Seed: 1, RC: 5, Crawl: raw})
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-job.Done()
+		svc.forget(job.ID)
+	}
+	b.StopTimer()
+	if svc.PipelineRuns() != 1 {
+		b.Fatalf("pipeline ran %d times; the cache-hit bench must hit the cache", svc.PipelineRuns())
+	}
+}
+
+// BenchmarkRestoredDedupSubmit measures the submit-side fast path: an
+// identical submission answered from the job table with no worker round
+// trip — the latency a polling client sees on a duplicate POST.
+func BenchmarkRestoredDedupSubmit(b *testing.B) {
+	_, c := testGraphAndCrawl(b, 3, 0.15)
+	raw := crawlJSONBytes(b, c)
+	svc := benchService(b, Config{})
+	warm, _, err := svc.Submit(&JobSpec{Seed: 1, RC: 5, Crawl: raw})
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-warm.Done()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job, existing, err := svc.Submit(&JobSpec{Seed: 1, RC: 5, Crawl: raw})
+		if err != nil || !existing {
+			b.Fatalf("iteration %d: err=%v existing=%v", i, err, existing)
+		}
+		<-job.Done()
+	}
+}
+
+// BenchmarkRestoredCanonicalize isolates the submit-time cost of parsing
+// and hashing a crawl — the price of content addressing itself.
+func BenchmarkRestoredCanonicalize(b *testing.B) {
+	for _, frac := range []float64{0.1, 0.3} {
+		_, c := testGraphAndCrawl(b, 3, frac)
+		raw := crawlJSONBytes(b, c)
+		b.Run(fmt.Sprintf("fraction=%g", frac), func(b *testing.B) {
+			b.SetBytes(int64(len(raw)))
+			for i := 0; i < b.N; i++ {
+				if _, err := resolveSpec(&JobSpec{Seed: 1, RC: 5, Crawl: raw}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,74 @@
+package restored
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand/v2"
+	"testing"
+
+	"sgr/internal/gen"
+	"sgr/internal/sampling"
+)
+
+// FuzzCacheKeyCanonicalization hammers the canonicalization invariant with
+// arbitrary crawl JSON: whenever an input parses as a crawl at all, every
+// re-spelling of it (indentation, map-ordered fields, the canonical
+// rendering itself) must resolve to the same cache key, and the canonical
+// form must be a fixed point.
+func FuzzCacheKeyCanonicalization(f *testing.F) {
+	g := gen.HolmeKim(60, 3, 0.5, rand.New(rand.NewPCG(1, 2)))
+	c, err := sampling.SeededRandomWalk(sampling.NewGraphAccess(g), -1, 0.1, 7)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	var indented bytes.Buffer
+	if err := json.Indent(&indented, buf.Bytes(), "", "\t"); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(indented.Bytes())
+	f.Add([]byte(`{"version":1,"queried":[0,1],"neighbors":[[1],[0,0]],"walk":[0,1,0]}`))
+	f.Add([]byte(`{"version":1,"queried":[],"neighbors":[]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ps, err := resolveSpec(&JobSpec{Seed: 1, RC: 5, Crawl: data})
+		if err != nil {
+			return // unparseable or invalid crawls are rejected, not hashed
+		}
+		// Canonicalization is a fixed point: resubmitting the canonical
+		// bytes yields the same key and the same canonical bytes.
+		again, err := resolveSpec(&JobSpec{Seed: 1, RC: 5, Crawl: ps.canon})
+		if err != nil {
+			t.Fatalf("canonical bytes rejected: %v", err)
+		}
+		if again.key != ps.key {
+			t.Fatalf("canonical resubmission changed the key: %s != %s", again.key, ps.key)
+		}
+		if !bytes.Equal(again.canon, ps.canon) {
+			t.Fatal("canonicalization is not idempotent")
+		}
+		// Whitespace re-spellings of the raw input keep the key.
+		var ind bytes.Buffer
+		if err := json.Indent(&ind, data, " ", "  "); err == nil {
+			sp, err := resolveSpec(&JobSpec{Seed: 1, RC: 5, Crawl: ind.Bytes()})
+			if err != nil {
+				t.Fatalf("indented spelling rejected: %v", err)
+			}
+			if sp.key != ps.key {
+				t.Fatal("indented spelling changed the key")
+			}
+		}
+		// A different seed must change the key (options always hash).
+		other, err := resolveSpec(&JobSpec{Seed: 2, RC: 5, Crawl: ps.canon})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if other.key == ps.key {
+			t.Fatal("seed did not enter the key")
+		}
+	})
+}

@@ -1,0 +1,160 @@
+package restored
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"sgr/internal/daemon"
+	"sgr/internal/graph"
+)
+
+// maxSpecBytes bounds a submission body (inline crawls and journals of
+// million-node graphs fit comfortably; a runaway upload does not).
+const maxSpecBytes = 256 << 20
+
+// Server exposes a Service over the restored wire protocol.
+type Server struct {
+	svc *Service
+}
+
+// NewServer wraps svc.
+func NewServer(svc *Service) *Server { return &Server{svc: svc} }
+
+// Handler returns the HTTP handler implementing the wire protocol.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/graph", s.handleGraph)
+	mux.HandleFunc("GET /v1/jobs/{id}/props", s.handleProps)
+	// Load-balancer endpoints, shared with graphd via internal/daemon.
+	mux.Handle("GET /v1/healthz", daemon.HealthzHandler(s.svc.Healthz))
+	mux.Handle("GET /v1/metrics", daemon.MetricsHandler(s.svc.Metrics))
+	return mux
+}
+
+// handleSubmit accepts a JobSpec. A new job answers 202 Accepted; a
+// submission matching a known job (singleflight or finished) answers 200
+// with that job's current status — a done job is therefore consumable
+// immediately, no polling round trip.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "reading body: "+err.Error())
+		return
+	}
+	var spec JobSpec
+	if err := json.Unmarshal(body, &spec); err != nil {
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "decoding spec: "+err.Error())
+		return
+	}
+	job, existing, err := s.svc.Submit(&spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, ErrCodeQueueFull, "")
+		return
+	case errors.Is(err, ErrClosed):
+		writeErr(w, http.StatusServiceUnavailable, ErrCodeShuttingDown, "")
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, err.Error())
+		return
+	}
+	status := http.StatusAccepted
+	if existing {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, job.Status())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.svc.Job(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, ErrCodeUnknownJob, "")
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// jobResult resolves a job's finished result for the download endpoints,
+// writing the appropriate error response when it is not servable.
+func (s *Server) jobResult(w http.ResponseWriter, r *http.Request) (*Result, bool) {
+	job, ok := s.svc.Job(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, ErrCodeUnknownJob, "")
+		return nil, false
+	}
+	st := job.Status()
+	switch st.State {
+	case StateFailed:
+		writeErr(w, http.StatusConflict, ErrCodeJobFailed, st.Error)
+		return nil, false
+	case StateDone:
+		res, err := job.Result()
+		if err != nil {
+			writeErr(w, http.StatusConflict, ErrCodeJobFailed, err.Error())
+			return nil, false
+		}
+		return res, true
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusConflict, ErrCodeNotReady, "job is "+st.State)
+		return nil, false
+	}
+}
+
+// handleGraph serves the restored graph: by default the binary SGRB bytes
+// — the cache entry itself, written zero-copy the way the oracle serves
+// CSR rows — or a plain-text edge list with ?format=edgelist.
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	res, ok := s.jobResult(w, r)
+	if !ok {
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "binary":
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		w.Write(res.GraphBin)
+	case "edgelist":
+		g, err := res.Graph()
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, ErrCodeJobFailed, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		graph.WriteEdgeList(w, g)
+	default:
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "unknown format "+format)
+	}
+}
+
+// handleProps serves the 12 structural properties of the restored graph.
+func (s *Server) handleProps(w http.ResponseWriter, r *http.Request) {
+	res, ok := s.jobResult(w, r)
+	if !ok {
+		return
+	}
+	buf, err := res.Props(s.svc.PropsWorkers())
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, ErrCodeJobFailed, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, code, detail string) {
+	writeJSON(w, status, Error{Code: code, Detail: detail})
+}

@@ -1,0 +1,249 @@
+package restored
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"sgr/internal/graph"
+	"sgr/internal/props"
+)
+
+// startHTTP boots a Service behind its HTTP handler.
+func startHTTP(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := newTestService(t, cfg)
+	ts := httptest.NewServer(NewServer(svc).Handler())
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+// postJob submits a spec over HTTP, returning the status code and decoded
+// JobStatus.
+func postJob(t *testing.T, url string, spec *JobSpec) (int, JobStatus) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding submit response: %v", err)
+	}
+	return resp.StatusCode, st
+}
+
+// getBody GETs a URL and returns status, body, and the Retry-After header.
+func getBody(t *testing.T, url string) (int, []byte, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body, resp.Header.Get("Retry-After")
+}
+
+// pollDone polls the status endpoint until the job leaves the queue.
+func pollDone(t *testing.T, base, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		code, body, _ := getBody(t, base+"/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("status poll: HTTP %d: %s", code, body)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		switch st.State {
+		case StateDone:
+			return st
+		case StateFailed:
+			t.Fatalf("job failed: %s", st.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("job never finished")
+	return JobStatus{}
+}
+
+// TestHTTPSubmitPollDownload drives the wire protocol end to end and pins
+// every download format against the offline pipeline.
+func TestHTTPSubmitPollDownload(t *testing.T) {
+	_, c := testGraphAndCrawl(t, 3, 0.15)
+	offline, offlineBin := offlineRestore(t, c, 5, 3)
+	svc, ts := startHTTP(t, Config{})
+
+	code, st := postJob(t, ts.URL, &JobSpec{Seed: 3, RC: 5, Crawl: crawlJSONBytes(t, c)})
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: HTTP %d", code)
+	}
+	if !validKey(st.ID) {
+		t.Fatalf("job id %q is not a content hash", st.ID)
+	}
+	final := pollDone(t, ts.URL, st.ID)
+	if final.Result == nil || final.Result.Nodes != offline.Graph.N() ||
+		final.Result.Edges != offline.Graph.M() || final.Result.GraphBytes != len(offlineBin) {
+		t.Fatalf("final status result = %+v", final.Result)
+	}
+
+	// Binary download: byte-identical to the offline codec output.
+	code, bin, _ := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/graph")
+	if code != http.StatusOK || !bytes.Equal(bin, offlineBin) {
+		t.Fatalf("binary download: HTTP %d, %d bytes (want %d identical bytes)",
+			code, len(bin), len(offlineBin))
+	}
+	if _, err := graph.DecodeBinary(bin); err != nil {
+		t.Fatalf("binary download does not decode: %v", err)
+	}
+
+	// Edge-list download: byte-identical to cmd/restore -out.
+	var edges bytes.Buffer
+	if err := graph.WriteEdgeList(&edges, offline.Graph); err != nil {
+		t.Fatal(err)
+	}
+	code, text, _ := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/graph?format=edgelist")
+	if code != http.StatusOK || !bytes.Equal(text, edges.Bytes()) {
+		t.Fatalf("edge-list download: HTTP %d, mismatch=%v", code, !bytes.Equal(text, edges.Bytes()))
+	}
+
+	// Props download: the 12 properties of the restored graph, computed at
+	// the service's deterministic worker bound.
+	code, propsBody, _ := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/props")
+	if code != http.StatusOK {
+		t.Fatalf("props download: HTTP %d", code)
+	}
+	want, err := json.Marshal(props.Compute(offline.Graph, props.Options{Workers: svc.PropsWorkers()}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes.TrimRight(propsBody, "\n"), want) {
+		t.Fatal("props JSON differs from offline computation")
+	}
+
+	// Resubmission: 200 (not 202) and immediately done.
+	code, again := postJob(t, ts.URL, &JobSpec{Seed: 3, RC: 5, Crawl: crawlJSONBytes(t, c)})
+	if code != http.StatusOK || again.State != StateDone || again.ID != st.ID {
+		t.Fatalf("resubmit: HTTP %d state %s id match %v", code, again.State, again.ID == st.ID)
+	}
+	if svc.PipelineRuns() != 1 {
+		t.Fatalf("pipeline runs = %d", svc.PipelineRuns())
+	}
+}
+
+// TestHTTPHealthzAndMetrics covers the shared daemon endpoints.
+func TestHTTPHealthzAndMetrics(t *testing.T) {
+	_, c := testGraphAndCrawl(t, 3, 0.1)
+	_, ts := startHTTP(t, Config{})
+	code, st := postJob(t, ts.URL, &JobSpec{Seed: 3, RC: 5, Crawl: crawlJSONBytes(t, c)})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	pollDone(t, ts.URL, st.ID)
+
+	code, body, _ := getBody(t, ts.URL+"/v1/healthz")
+	if code != http.StatusOK || !strings.Contains(string(body), `"status":"ok"`) {
+		t.Fatalf("healthz: HTTP %d %s", code, body)
+	}
+	code, body, _ = getBody(t, ts.URL+"/v1/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", code)
+	}
+	metrics := make(map[string]int64)
+	for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("bad metrics line %q", line)
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			t.Fatalf("bad metrics value in %q", line)
+		}
+		metrics[name] = n
+	}
+	for name, want := range map[string]int64{
+		"restored_jobs_submitted": 1,
+		"restored_jobs_completed": 1,
+		"restored_pipeline_runs":  1,
+		"restored_cache_entries":  1,
+		"restored_jobs_failed":    0,
+	} {
+		if metrics[name] != want {
+			t.Errorf("%s = %d, want %d", name, metrics[name], want)
+		}
+	}
+}
+
+// TestHTTPErrors covers the failure surface of the wire protocol.
+func TestHTTPErrors(t *testing.T) {
+	_, c := testGraphAndCrawl(t, 3, 0.1)
+	raw := crawlJSONBytes(t, c)
+	gate := make(chan struct{})
+	started := make(chan struct{}, 4)
+	svc, ts := startHTTP(t, Config{Workers: 1})
+	svc.testBeforeRun = func(*Job) {
+		started <- struct{}{}
+		<-gate
+	}
+	defer close(gate)
+
+	expectErr := func(method, url string, body []byte, wantStatus int, wantCode string) {
+		t.Helper()
+		var resp *http.Response
+		var err error
+		if method == http.MethodPost {
+			resp, err = http.Post(url, "application/json", bytes.NewReader(body))
+		} else {
+			resp, err = http.Get(url)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var e Error
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("%s %s: decoding error body: %v", method, url, err)
+		}
+		if resp.StatusCode != wantStatus || e.Code != wantCode {
+			t.Fatalf("%s %s: HTTP %d %q, want %d %q", method, url, resp.StatusCode, e.Code, wantStatus, wantCode)
+		}
+	}
+
+	expectErr(http.MethodPost, ts.URL+"/v1/jobs", []byte("{broken"), http.StatusBadRequest, ErrCodeBadRequest)
+	expectErr(http.MethodPost, ts.URL+"/v1/jobs", []byte(`{"seed":1}`), http.StatusBadRequest, ErrCodeBadRequest)
+	expectErr(http.MethodGet, ts.URL+"/v1/jobs/"+strings.Repeat("0", 64), nil, http.StatusNotFound, ErrCodeUnknownJob)
+	expectErr(http.MethodGet, ts.URL+"/v1/jobs/"+strings.Repeat("0", 64)+"/graph", nil, http.StatusNotFound, ErrCodeUnknownJob)
+
+	// A running job's downloads answer 409 not_ready with a Retry-After.
+	code, st := postJob(t, ts.URL, &JobSpec{Seed: 3, RC: 5, Crawl: raw})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	<-started
+	graphURL := ts.URL + "/v1/jobs/" + st.ID + "/graph"
+	codeG, _, retryAfter := getBody(t, graphURL)
+	if codeG != http.StatusConflict || retryAfter == "" {
+		t.Fatalf("graph of running job: HTTP %d retry-after %q", codeG, retryAfter)
+	}
+	expectErr(http.MethodGet, ts.URL+"/v1/jobs/"+st.ID+"/props", nil, http.StatusConflict, ErrCodeNotReady)
+	gate <- struct{}{} // release the worker for cleanup
+	pollDone(t, ts.URL, st.ID)
+	expectErr(http.MethodGet, graphURL+"?format=yaml", nil, http.StatusBadRequest, ErrCodeBadRequest)
+}

@@ -1,0 +1,467 @@
+package restored
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sgr/internal/core"
+	"sgr/internal/daemon"
+	"sgr/internal/graph"
+	"sgr/internal/oracle"
+	"sgr/internal/parallel"
+	"sgr/internal/sampling"
+)
+
+// Config tunes a Service. The zero value serves with sensible defaults.
+type Config struct {
+	// Workers is the pipeline worker-pool width (default
+	// parallel.DefaultWorkers — the same bound the evaluation engine
+	// uses). Each worker runs one job at a time, start to finish.
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs
+	// (default 64). A full queue rejects submissions with ErrQueueFull —
+	// backpressure, not unbounded memory.
+	QueueDepth int
+	// CacheDir, when set, persists the content-addressed result cache on
+	// disk so a restarted daemon answers old submissions without
+	// recomputing them.
+	CacheDir string
+	// PropsWorkers bounds the parallel loops of /props property
+	// computation (default 1: results are then deterministic regardless
+	// of the host's core count, the same reasoning as the evaluation
+	// harness's per-cell default).
+	PropsWorkers int
+	// Logf reports job lifecycle events (log.Printf-shaped; default
+	// silent).
+	Logf func(format string, args ...any)
+}
+
+// Submission errors.
+var (
+	// ErrQueueFull rejects a submission when the bounded job queue is at
+	// capacity.
+	ErrQueueFull = errors.New("restored: job queue full")
+	// ErrClosed rejects submissions after Close.
+	ErrClosed = errors.New("restored: service shutting down")
+)
+
+// Service is the restoration job engine: a bounded queue feeding a fixed
+// worker pool, a singleflighting job table keyed by content address, and
+// the result cache. It is safe for concurrent use.
+//
+// Retention: the job table keeps finished jobs so status polling and
+// duplicate submissions keep answering, but a finished job releases its
+// submission payload and shrinks to a status plus a pointer into the
+// result cache; failed jobs are replaced (and so retried) by the next
+// identical submission. The result cache is content-addressed storage and
+// unbounded by design — size it with the disk tier (CacheDir), which is
+// also what survives restarts.
+type Service struct {
+	cfg   Config
+	cache *Cache
+	queue chan *Job
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	closed bool
+
+	wg sync.WaitGroup
+
+	submitted    atomic.Int64 // jobs accepted (new job ids)
+	deduped      atomic.Int64 // submissions answered by an existing job
+	completed    atomic.Int64 // jobs finished successfully
+	failed       atomic.Int64 // jobs finished with an error
+	pipelineRuns atomic.Int64 // full pipeline executions (cache misses)
+	cacheHits    atomic.Int64 // jobs answered from the result cache
+	remoteCrawls atomic.Int64 // server-side graphd crawls performed
+	running      atomic.Int64 // jobs currently executing
+
+	// testBeforeRun, when set (tests only), runs at the top of every
+	// worker execution — a seam for stalling workers deterministically.
+	testBeforeRun func(*Job)
+}
+
+// Job is one submission's lifecycle. Its identity is the content address
+// of the submission, so "the same job" means "the same work".
+type Job struct {
+	// ID is the job key: hex SHA-256 of the canonicalized submission.
+	ID string
+
+	spec *jobSpec
+	done chan struct{}
+
+	mu       sync.Mutex
+	state    string
+	phase    string
+	err      error
+	cached   bool
+	res      *Result
+	enqueued time.Time
+	finished time.Time
+}
+
+// New starts a Service.
+func New(cfg Config) (*Service, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = parallel.DefaultWorkers()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.PropsWorkers <= 0 {
+		cfg.PropsWorkers = 1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	cache, err := NewCache(cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:   cfg,
+		cache: cache,
+		queue: make(chan *Job, cfg.QueueDepth),
+		jobs:  make(map[string]*Job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Close stops accepting submissions, drains the queue, and waits for the
+// workers to finish.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// Submit registers a submission and returns its job. existing reports
+// whether the submission matched a job already known (queued, running, or
+// finished) — the singleflight/cache-hit path. A new job is enqueued; a
+// full queue fails with ErrQueueFull and registers nothing.
+func (s *Service) Submit(spec *JobSpec) (job *Job, existing bool, err error) {
+	ps, err := resolveSpec(spec)
+	if err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false, ErrClosed
+	}
+	if j, ok := s.jobs[ps.key]; ok {
+		// A failed job must not poison its content address forever: a
+		// transient crawl or pipeline failure would otherwise turn every
+		// identical resubmission into the old failure with no way to retry
+		// short of restarting the daemon. Queued/running/done jobs dedup;
+		// a failed one is replaced by a fresh attempt below.
+		if !j.isFailed() {
+			s.mu.Unlock()
+			s.deduped.Add(1)
+			return j, true, nil
+		}
+	}
+	j := &Job{
+		ID:       ps.key,
+		spec:     ps,
+		done:     make(chan struct{}),
+		state:    StateQueued,
+		enqueued: time.Now(),
+	}
+	// Registering inside the lock is what makes identical concurrent
+	// submissions singleflight: every later submitter finds this entry.
+	// The queue reservation happens under the same lock so a full queue
+	// can unregister without a window where a doomed job is visible.
+	select {
+	case s.queue <- j:
+		s.jobs[ps.key] = j
+		s.mu.Unlock()
+		s.submitted.Add(1)
+		return j, false, nil
+	default:
+		s.mu.Unlock()
+		return nil, false, ErrQueueFull
+	}
+}
+
+// forget drops a job from the table. Benchmarks use it to force repeated
+// identical submissions through the worker + result cache instead of the
+// job-table dedup short-circuit.
+func (s *Service) forget(id string) {
+	s.mu.Lock()
+	delete(s.jobs, id)
+	s.mu.Unlock()
+}
+
+// Job looks up a job by id.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Done returns a channel closed when the job finishes (either way).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status snapshots the job for the wire.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{ID: j.ID, State: j.state, Phase: j.phase, Cached: j.cached}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.res != nil {
+		st.Result = j.res.JobResult()
+	}
+	return st
+}
+
+// Result returns the finished result, or the job's failure.
+func (j *Job) Result() (*Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.err != nil:
+		return nil, j.err
+	case j.res == nil:
+		return nil, fmt.Errorf("restored: job %s not finished", j.ID)
+	}
+	return j.res, nil
+}
+
+func (j *Job) setRunning(phase string) {
+	j.mu.Lock()
+	j.state, j.phase = StateRunning, phase
+	j.mu.Unlock()
+}
+
+func (j *Job) isFailed() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state == StateFailed
+}
+
+// release drops the submission payload — the parsed crawl and its
+// canonical bytes dominate a job's footprint and are dead weight once the
+// worker is done with them. A finished job shrinks to its status plus a
+// pointer to the (cache-shared) result, so the job table stays cheap to
+// retain for status polling.
+func (j *Job) release() { j.spec = nil }
+
+func (j *Job) finish(res *Result, cached bool) {
+	j.mu.Lock()
+	j.state, j.phase = StateDone, ""
+	j.res, j.cached = res, cached
+	j.finished = time.Now()
+	j.release()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+func (j *Job) fail(err error) {
+	j.mu.Lock()
+	j.state, j.phase = StateFailed, ""
+	j.err = err
+	j.finished = time.Now()
+	j.release()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.running.Add(1)
+		s.run(j)
+		s.running.Add(-1)
+	}
+}
+
+// run executes one job: resolve the crawl (server-side for graphd
+// sources), consult the content-addressed cache, and only on a miss run
+// the restoration pipeline with the job's pinned seed.
+func (s *Service) run(j *Job) {
+	if s.testBeforeRun != nil {
+		s.testBeforeRun(j)
+	}
+	crawl, key := j.spec.crawl, j.ID
+	if j.spec.graphd != nil {
+		j.setRunning(PhaseCrawling)
+		c, canon, err := s.crawlGraphd(j.spec)
+		if err != nil {
+			s.failed.Add(1)
+			s.cfg.Logf("job %s: crawl failed: %v", shortKey(j.ID), err)
+			j.fail(err)
+			return
+		}
+		crawl = c
+		// Re-key by crawl content: a graphd job and an inline submission
+		// of the identical crawl share one cache line.
+		key = resultKey(canon, j.spec)
+	}
+	if res, ok := s.cache.Get(key); ok {
+		s.cacheHits.Add(1)
+		s.completed.Add(1)
+		s.cfg.Logf("job %s: served from cache", shortKey(j.ID))
+		j.finish(res, true)
+		return
+	}
+
+	j.setRunning(PhaseRestoring)
+	s.pipelineRuns.Add(1)
+	opts := core.Options{
+		RC:               j.spec.rc,
+		SkipRewiring:     j.spec.skip,
+		ForbidDegenerate: j.spec.forbid,
+		// The canonical seeded stream — the byte-identical-to-cmd/restore
+		// contract.
+		Rand: core.PipelineRand(j.spec.seed),
+	}
+	var (
+		res *core.Result
+		err error
+	)
+	switch j.spec.method {
+	case MethodGjoka:
+		res, err = core.RestoreGjoka(crawl, opts)
+	default:
+		res, err = core.Restore(crawl, opts)
+	}
+	if err != nil {
+		s.failed.Add(1)
+		s.cfg.Logf("job %s: pipeline failed: %v", shortKey(j.ID), err)
+		j.fail(err)
+		return
+	}
+
+	j.setRunning(PhaseEncoding)
+	bin, err := graph.AppendBinary(nil, res.Graph)
+	if err != nil {
+		s.failed.Add(1)
+		j.fail(err)
+		return
+	}
+	result := &Result{
+		GraphBin: bin,
+		Meta: ResultMeta{
+			Nodes:          res.Graph.N(),
+			Edges:          res.Graph.M(),
+			NumAdded:       res.NumAdded,
+			RewireAccepted: res.RewireStats.Accepted,
+			RewireAttempts: res.RewireStats.Attempts,
+			TotalMS:        float64(res.TotalTime.Microseconds()) / 1e3,
+			RewireMS:       float64(res.RewireTime.Microseconds()) / 1e3,
+		},
+		g: res.Graph,
+	}
+	if err := s.cache.Put(key, result); err != nil {
+		// The result survives in memory; only persistence degraded.
+		s.cfg.Logf("job %s: cache persist failed: %v", shortKey(j.ID), err)
+	}
+	s.completed.Add(1)
+	s.cfg.Logf("job %s: restored n=%d m=%d in %.0fms", shortKey(j.ID),
+		result.Meta.Nodes, result.Meta.Edges, result.Meta.TotalMS)
+	j.finish(result, false)
+}
+
+// crawlGraphd performs the server-side crawl of a graphd job through
+// oracle.Client — the exact crawl `crawl -url -seed` would record.
+func (s *Service) crawlGraphd(ps *jobSpec) (*sampling.Crawl, []byte, error) {
+	s.remoteCrawls.Add(1)
+	client, err := oracle.NewClient(oracle.ClientConfig{
+		BaseURL:    ps.graphd.URL,
+		APIKey:     ps.graphd.APIKey,
+		MaxRetries: ps.graphd.Retries,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer client.Close()
+	seedNode := -1
+	if ps.graphd.SeedNode != nil {
+		seedNode = *ps.graphd.SeedNode
+	}
+	c, err := sampling.SeededRandomWalk(client, seedNode, ps.graphd.Fraction, ps.seed)
+	if cerr := client.Err(); cerr != nil {
+		// A dead oracle surfaces in walkers as a bogus "isolated node";
+		// report the real cause.
+		return nil, nil, cerr
+	}
+	if err != nil {
+		if client.PrivateSeen() > 0 {
+			err = fmt.Errorf("%w (%d queried node(s) answered private)", err, client.PrivateSeen())
+		}
+		return nil, nil, err
+	}
+	canon, err := canonicalCrawl(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, canon, nil
+}
+
+// PropsWorkers exposes the configured /props determinism bound.
+func (s *Service) PropsWorkers() int { return s.cfg.PropsWorkers }
+
+// PipelineRuns reports how many jobs ran the full pipeline — the counter
+// the cache-hit and singleflight guarantees are asserted against.
+func (s *Service) PipelineRuns() int64 { return s.pipelineRuns.Load() }
+
+// CacheHits reports jobs answered from the result cache.
+func (s *Service) CacheHits() int64 { return s.cacheHits.Load() }
+
+// Healthz describes the service for the liveness probe.
+func (s *Service) Healthz() map[string]any {
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	return map[string]any{
+		"jobs":    jobs,
+		"workers": s.cfg.Workers,
+		"queued":  len(s.queue),
+	}
+}
+
+// Metrics returns the /v1/metrics snapshot.
+func (s *Service) Metrics() []daemon.Metric {
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	return []daemon.Metric{
+		{Name: "restored_jobs_submitted", Value: s.submitted.Load()},
+		{Name: "restored_jobs_deduped", Value: s.deduped.Load()},
+		{Name: "restored_jobs_completed", Value: s.completed.Load()},
+		{Name: "restored_jobs_failed", Value: s.failed.Load()},
+		{Name: "restored_jobs_running", Value: s.running.Load()},
+		{Name: "restored_jobs_queued", Value: int64(len(s.queue))},
+		{Name: "restored_jobs_known", Value: int64(jobs)},
+		{Name: "restored_pipeline_runs", Value: s.pipelineRuns.Load()},
+		{Name: "restored_cache_hits", Value: s.cacheHits.Load()},
+		{Name: "restored_cache_entries", Value: int64(s.cache.Len())},
+		{Name: "restored_remote_crawls", Value: s.remoteCrawls.Load()},
+		{Name: "restored_workers", Value: int64(s.cfg.Workers)},
+	}
+}
+
+// shortKey abbreviates a job id for logs.
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}

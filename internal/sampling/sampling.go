@@ -192,6 +192,25 @@ func RandomWalk(access Access, seed int, fraction float64, r *rand.Rand) (*Crawl
 	return rec.crawl, nil
 }
 
+// SeededRandomWalk is the deterministic whole-crawl entry point shared by
+// cmd/crawl and the restored job daemon's server-side crawls: it derives
+// the walk RNG from seed exactly as `crawl -seed` does, draws the start
+// node when seedNode < 0, and runs RandomWalk. Two callers handing the
+// same Access contents, seedNode, fraction and seed get byte-identical
+// crawls — the invariant that lets a daemon-crawled job be answered from
+// the same content-addressed cache entry as a CLI-crawled one.
+func SeededRandomWalk(access Access, seedNode int, fraction float64, seed uint64) (*Crawl, error) {
+	r := rand.New(rand.NewPCG(seed, seed^0x27d4eb2f))
+	n := access.NumNodes()
+	start := seedNode
+	if start < 0 {
+		start = r.IntN(n)
+	} else if start >= n {
+		return nil, fmt.Errorf("sampling: seed node %d out of range [0,%d)", start, n)
+	}
+	return RandomWalk(access, start, fraction, r)
+}
+
 // RandomWalkSteps performs a simple random walk of exactly steps queries
 // (with repetition in the sequence), regardless of the distinct-node count.
 // Useful for estimator experiments that fix the walk length r.

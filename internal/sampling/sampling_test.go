@@ -2,6 +2,7 @@ package sampling
 
 import (
 	"math/rand/v2"
+	"reflect"
 	"testing"
 
 	"sgr/internal/gen"
@@ -305,5 +306,48 @@ func TestCrawlDegreeOf(t *testing.T) {
 	}
 	if _, ok := c.DegreeOf(-1); ok {
 		t.Fatal("DegreeOf should fail for unqueried node")
+	}
+}
+
+// TestSeededRandomWalkMatchesManualSeeding pins the CLI seed-derivation
+// contract: SeededRandomWalk must replay exactly what `crawl -seed S` has
+// always done (PCG(S, S^0x27d4eb2f), optional start-node draw), because the
+// restored daemon's content-addressed cache keys assume the two paths
+// produce identical crawls.
+func TestSeededRandomWalkMatchesManualSeeding(t *testing.T) {
+	g := testGraph(t)
+	const seed = uint64(9)
+
+	// Drawn start node.
+	r := rand.New(rand.NewPCG(seed, seed^0x27d4eb2f))
+	start := r.IntN(g.N())
+	want, err := RandomWalk(NewGraphAccess(g), start, 0.1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SeededRandomWalk(NewGraphAccess(g), -1, 0.1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("SeededRandomWalk(-1) differs from the manual draw-then-walk sequence")
+	}
+
+	// Pinned start node: no draw is consumed before the walk.
+	r = rand.New(rand.NewPCG(seed, seed^0x27d4eb2f))
+	want, err = RandomWalk(NewGraphAccess(g), 3, 0.1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = SeededRandomWalk(NewGraphAccess(g), 3, 0.1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("SeededRandomWalk(3) differs from the pinned-start walk")
+	}
+
+	if _, err := SeededRandomWalk(NewGraphAccess(g), g.N(), 0.1, seed); err == nil {
+		t.Fatal("out-of-range seed node must error")
 	}
 }

@@ -1,0 +1,24 @@
+# lib.sh — helpers shared by the e2e scripts (source, do not execute).
+
+# wait_for_addr_file FILE PID LOG [TRIES]
+#
+# Bounded wait for a daemon to publish its -addr-file. Fails fast with the
+# daemon's log when the process dies, and — crucially — when the file never
+# appears within TRIES*0.1s, instead of letting the caller hang until a CI
+# step timeout with no diagnostic.
+wait_for_addr_file() {
+  local file=$1 pid=$2 log=$3 tries=${4:-100}
+  local i
+  for i in $(seq "$tries"); do
+    [ -f "$file" ] && return 0
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "error: daemon exited before publishing $file; its log:" >&2
+      cat "$log" >&2 || true
+      return 1
+    fi
+    sleep 0.1
+  done
+  echo "error: daemon still has not published $file after $tries checks (~$((tries / 10))s); giving up instead of hanging. Its log:" >&2
+  cat "$log" >&2 || true
+  return 1
+}

@@ -11,6 +11,7 @@
 #      re-spending budget, and restore offline from the journal.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+. scripts/lib.sh
 
 tmp=$(mktemp -d)
 graphd_pid=""
@@ -34,13 +35,14 @@ echo "== booting graphd on a random port with injected faults =="
   -latency 1ms -jitter 1ms -error-rate 0.05 -fault-seed 7 \
   >"$tmp/graphd.log" 2>&1 &
 graphd_pid=$!
-for _ in $(seq 100); do
-  [ -f "$tmp/addr" ] && break
-  kill -0 "$graphd_pid" 2>/dev/null || { cat "$tmp/graphd.log"; exit 1; }
-  sleep 0.1
-done
+wait_for_addr_file "$tmp/addr" "$graphd_pid" "$tmp/graphd.log"
 url="http://$(cat "$tmp/addr")"
 echo "graphd at $url"
+
+echo "== daemon health endpoints =="
+curl -fsS "$url/v1/healthz" | grep -q '"status":"ok"'
+curl -fsS "$url/v1/metrics" | grep -Eq '^graphd_queries_served [0-9]+$'
+echo "healthz ok, metrics scrape parses"
 
 echo "== remote crawl (journaled, under -race) vs in-memory crawl =="
 "$tmp/crawl" -url "$url" -fraction 0.1 -seed 3 \
@@ -50,6 +52,8 @@ echo "== remote crawl (journaled, under -race) vs in-memory crawl =="
 cmp "$tmp/http.json" "$tmp/mem.json"
 cmp "$tmp/http.edges" "$tmp/mem.edges"
 echo "remote and in-memory crawls byte-identical"
+curl -fsS "$url/v1/metrics" | grep -Eq '^graphd_active_clients [1-9]' \
+  || { echo "metrics did not count the crawler as an active client"; exit 1; }
 
 echo "== interrupted crawl resumes from journal without re-spending =="
 # A shorter run of the same seeded walk is a strict prefix: its journal

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# restored_e2e.sh — the restoration-as-a-service acceptance gate, run by
+# `make restored-e2e` and CI's oracle-integration job:
+#
+#   1. generate a graph, crawl it locally, and restore offline with
+#      cmd/restore (-out and -out-binary) — the byte-identity reference,
+#   2. boot a race-enabled restored daemon on a random port,
+#   3. submit the crawl as a job, poll it to completion, download the
+#      result in both formats, and require them byte-identical to the
+#      offline restore at the same seed,
+#   4. round-trip the binary download through gengraph -from-binary,
+#   5. resubmit the identical job (plus a whitespace-respelled variant) and
+#      assert via the daemon's counters that the pipeline ran exactly once,
+#   6. check the shared /v1/healthz and /v1/metrics endpoints.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+. scripts/lib.sh
+
+tmp=$(mktemp -d)
+restored_pid=""
+cleanup() {
+  [ -n "$restored_pid" ] && kill "$restored_pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== building (restored with -race) =="
+go build -o "$tmp/gengraph" ./cmd/gengraph
+go build -o "$tmp/crawl" ./cmd/crawl
+go build -o "$tmp/restore" ./cmd/restore
+go build -race -o "$tmp/restored" ./cmd/restored
+
+echo "== generating graph + crawl =="
+"$tmp/gengraph" -dataset anybeat -scale 0.05 -seed 3 -out "$tmp/g.edges"
+"$tmp/crawl" -graph "$tmp/g.edges" -method rw -fraction 0.1 -seed 3 \
+  -save-crawl "$tmp/crawl.json" -out /dev/null
+
+echo "== offline restoration (the reference) =="
+"$tmp/restore" -crawl "$tmp/crawl.json" -rc 5 -seed 3 -compare=false \
+  -out "$tmp/offline.edges" -out-binary "$tmp/offline.sgrb" | grep 'restored:'
+
+echo "== booting restored on a random port (race-enabled, disk cache) =="
+"$tmp/restored" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -workers 2 \
+  -cache-dir "$tmp/cache" >"$tmp/restored.log" 2>&1 &
+restored_pid=$!
+wait_for_addr_file "$tmp/addr" "$restored_pid" "$tmp/restored.log"
+url="http://$(cat "$tmp/addr")"
+echo "restored at $url"
+curl -fsS "$url/v1/healthz" | grep -q '"status":"ok"'
+
+echo "== submit -> poll -> download =="
+printf '{"seed":3,"rc":5,"crawl":%s}' "$(cat "$tmp/crawl.json")" > "$tmp/job.json"
+id=$(curl -fsS -X POST --data-binary @"$tmp/job.json" "$url/v1/jobs" | jq -r .id)
+echo "job $id"
+state=""
+for _ in $(seq 300); do
+  state=$(curl -fsS "$url/v1/jobs/$id" | jq -r .state)
+  case "$state" in
+    done) break ;;
+    failed) echo "job failed:"; curl -fsS "$url/v1/jobs/$id"; exit 1 ;;
+  esac
+  sleep 0.1
+done
+if [ "$state" != done ]; then
+  echo "error: job still '$state' after 30s; daemon log:" >&2
+  cat "$tmp/restored.log" >&2
+  exit 1
+fi
+
+curl -fsS "$url/v1/jobs/$id/graph" -o "$tmp/job.sgrb"
+cmp "$tmp/job.sgrb" "$tmp/offline.sgrb"
+curl -fsS "$url/v1/jobs/$id/graph?format=edgelist" -o "$tmp/job.edges"
+cmp "$tmp/job.edges" "$tmp/offline.edges"
+echo "downloads byte-identical to the offline restore"
+
+echo "== gengraph round-trips the binary download =="
+"$tmp/gengraph" -from-binary "$tmp/job.sgrb" -out "$tmp/roundtrip.edges"
+cmp "$tmp/roundtrip.edges" "$tmp/offline.edges"
+echo "binary codec round-trip exact"
+
+echo "== identical resubmission: no second pipeline run =="
+code=$(curl -sS -o "$tmp/resubmit.json" -w '%{http_code}' -X POST \
+  --data-binary @"$tmp/job.json" "$url/v1/jobs")
+[ "$code" = 200 ] || { echo "resubmit answered HTTP $code, want 200"; exit 1; }
+jq -e '.state == "done"' "$tmp/resubmit.json" >/dev/null
+
+# A whitespace/indentation re-spelling of the same submission is the same
+# content address.
+jq . "$tmp/job.json" > "$tmp/job-pretty.json"
+id2=$(curl -fsS -X POST --data-binary @"$tmp/job-pretty.json" "$url/v1/jobs" | jq -r .id)
+[ "$id2" = "$id" ] || { echo "re-spelled submission got a new job id $id2"; exit 1; }
+
+curl -fsS "$url/v1/metrics" > "$tmp/metrics.txt"
+metric() { awk -v n="$1" '$1 == n {print $2}' "$tmp/metrics.txt"; }
+runs=$(metric restored_pipeline_runs)
+deduped=$(metric restored_jobs_deduped)
+entries=$(metric restored_cache_entries)
+[ "$runs" = 1 ] || { echo "pipeline ran $runs times, want exactly 1"; cat "$tmp/metrics.txt"; exit 1; }
+[ "$deduped" -ge 2 ] || { echo "deduped=$deduped, want >= 2"; cat "$tmp/metrics.txt"; exit 1; }
+[ "$entries" = 1 ] || { echo "cache entries=$entries, want 1"; cat "$tmp/metrics.txt"; exit 1; }
+echo "counters: pipeline_runs=$runs deduped=$deduped cache_entries=$entries"
+
+kill "$restored_pid"
+wait "$restored_pid" 2>/dev/null || true
+restored_pid=""
+echo "restored e2e: OK"
