@@ -10,7 +10,7 @@ BENCHTIME ?= 5x
 # anything (queries/s especially).
 ORACLE_BENCHTIME ?= 2000x
 
-.PHONY: build test race bench bench-json bench-oracle-json bench-props-json bench-restored-json oracle-e2e restored-e2e lint fuzz ci
+.PHONY: build test race bench bench-json bench-gate bench-oracle-json bench-props-json bench-restored-json oracle-e2e restored-e2e lint fuzz ci
 
 build:
 	$(GO) build ./...
@@ -39,10 +39,23 @@ define record-bench
 	cat $(2)
 endef
 
-# Rewiring-engine perf baseline: BenchmarkRewire (flat adjset engine vs
-# frozen map reference) and BenchmarkRestoreEndToEnd, with allocation stats.
+# Rewiring-engine perf baseline: BenchmarkRewire (flat adjset engine, the
+# frozen map reference, and the sharded engine at 1 and 8 workers) and
+# BenchmarkRestoreEndToEnd, with allocation stats.
 bench-json:
 	$(call record-bench,$(GO) test -run='^$$' -bench='^(BenchmarkRewire|BenchmarkRestoreEndToEnd)$$' -benchmem -benchtime=$(BENCHTIME) ./internal/dkseries ./internal/core,BENCH_rewire.json)
+
+# bench-gate re-records the rewiring baseline and fails when any shared
+# benchmark regressed more than 20% in ns/op against the committed
+# BENCH_rewire.json. The committed numbers are snapshotted before
+# bench-json overwrites the file; the fresh recording is left in place for
+# inspection (and for committing when an improvement should become the new
+# baseline).
+bench-gate:
+	@base=$$(mktemp); cp BENCH_rewire.json $$base; \
+	$(MAKE) bench-json || { rm -f $$base; exit 1; }; \
+	bash scripts/bench_gate.sh $$base BENCH_rewire.json; st=$$?; \
+	rm -f $$base; exit $$st
 
 # Oracle (graphd HTTP server + resilient client) throughput baseline — raw
 # query rate, full remote crawls, and the 8-concurrent-crawler load shape.

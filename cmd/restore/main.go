@@ -43,6 +43,8 @@ func main() {
 		compare  = flag.Bool("compare", true, "compute the 12-property L1 comparison")
 		workers  = flag.Int("workers", parallel.DefaultWorkers(),
 			"worker bound for the property-comparison loops (deterministic for a fixed value)")
+		rewireWorkers = flag.Int("rewire-workers", parallel.DefaultWorkers(),
+			"worker bound for the phase-4 rewiring propose loop (output is byte-identical at any value)")
 		pf = prof.AddFlags()
 	)
 	flag.Parse()
@@ -113,7 +115,7 @@ func main() {
 	fmt.Printf("random walk: %d distinct queried nodes, %d steps\n",
 		crawl.NumQueried(), len(crawl.Walk))
 
-	opts := core.Options{RC: *rc, Rand: r}
+	opts := core.Options{RC: *rc, RewireWorkers: *rewireWorkers, Rand: r}
 	var res *core.Result
 	switch *method {
 	case "proposed":

@@ -35,15 +35,17 @@ func main() {
 		queue    = flag.Int("queue", 64, "bounded job-queue depth (full queue answers 503)")
 		cacheDir = flag.String("cache-dir", "", "persist the content-addressed result cache here")
 		propsW   = flag.Int("props-workers", 1, "worker bound for /props property computation (fixed value keeps results deterministic)")
+		rewireW  = flag.Int("rewire-workers", 1, "per-job worker bound for phase-4 rewiring (output is byte-identical at any value)")
 	)
 	flag.Parse()
 
 	svc, err := restored.New(restored.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheDir:     *cacheDir,
-		PropsWorkers: *propsW,
-		Logf:         log.Printf,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheDir:      *cacheDir,
+		PropsWorkers:  *propsW,
+		RewireWorkers: *rewireW,
+		Logf:          log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -59,6 +59,28 @@
 // implementation, and `make bench-json` records its perf baseline in
 // BENCH_rewire.json (see README.md, "The adjset engine").
 //
+// Phase-4 rewiring — the pipeline's hot path — runs on the sharded
+// parallel engine of dkseries.RewireSharded: the candidate half-edge
+// space is partitioned by degree bucket into a fixed number of shards,
+// each shard proposes swaps from its own PCG sub-stream
+// (sampling.SubStream) and evaluates their exact clustering deltas
+// read-only against sorted neighbor rows, and accepted swaps are merged
+// serially in a fixed shard order. The parallelism model is
+// propose-in-parallel, commit-in-order, and it carries a worker-count
+// invariance guarantee: the restored graph is a deterministic function of
+// (input, seed, shard count, round size) and is byte-identical at any
+// worker setting — core.Options.RewireWorkers, -rewire-workers on
+// cmd/restore and cmd/restored, and harness.Config.RewireWorkers buy wall
+// clock only. That is what lets restored exclude the knob from its job
+// content address (differently configured daemons share cache lines) and
+// lets the bench gate (`make bench-gate`, scripts/bench_gate.sh) compare
+// recorded baselines across machines with different core counts. The
+// rewiring trajectory differs from the frozen serial dkseries.Rewire —
+// the engines share state and accept semantics, not proposal sequences —
+// and is pinned by worker-invariance, evaluator-equivalence and
+// differential white-box tests in internal/dkseries; see ARCHITECTURE.md
+// for the full determinism-contract inventory.
+//
 // Restoration itself is also served as a service: internal/restored plus
 // cmd/restored run the whole crawl → dK-series → rewiring pipeline behind
 // an asynchronous HTTP/JSON job API (POST /v1/jobs with an inline crawl,

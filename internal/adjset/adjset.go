@@ -9,6 +9,13 @@
 // The multiset stores one directed row per node; callers maintaining an
 // undirected adjacency call Inc(u,v) and Inc(v,u) symmetrically, mirroring
 // the convention of the map-based rows it replaces.
+//
+// Get, Inc and Dec are expected O(1) (the tables stay under a 3/4 load
+// factor); Iterate and Row are O(capacity) linear scans. The Set backs
+// the serial rewiring engine and the walk estimators; the sharded
+// rewiring engine reads its own sorted-row mirror instead (see
+// internal/dkseries/rewire_sharded.go), trading O(1) probes for ordered
+// merge intersections.
 package adjset
 
 // Empty marks an unoccupied key slot. Node IDs must be >= 0, so -1 is free.
@@ -106,7 +113,9 @@ func (s *Set) Get(u, v int) int {
 	}
 }
 
-// Inc increments the multiplicity of v in u's row and returns the new count.
+// Inc increments the multiplicity of v in u's row and returns the new
+// count, growing (doubling and rehashing) the row when it would exceed a
+// 3/4 load factor — amortized O(1), allocation-free at working size.
 func (s *Set) Inc(u, v int) int {
 	r := &s.rows[u]
 	if len(r.keys) == 0 || int(r.n) >= len(r.keys)*3/4 {

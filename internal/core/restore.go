@@ -22,6 +22,12 @@ type Options struct {
 	// self-loops or parallel edges, steering the output toward a simple
 	// graph (extension; the paper's model permits both).
 	ForbidDegenerate bool
+	// RewireWorkers bounds the propose-phase parallelism of phase 4's
+	// sharded rewiring engine (<= 0 selects parallel.DefaultWorkers).
+	// The restored graph is byte-identical at any value — the knob buys
+	// wall clock only — which is why the restored daemon may exclude it
+	// from its job content address.
+	RewireWorkers int
 	// Rand is the random source; required.
 	Rand *rand.Rand
 }
@@ -206,11 +212,19 @@ func runWith(c *sampling.Crawl, est *estimate.Estimates, opts Options, useSubgra
 		if sub != nil {
 			fixed = sub.Graph.Edges()
 		}
-		g, stats := dkseries.Rewire(built.Graph.N(), fixed, built.Added, dkseries.RewireOptions{
+		// Two draws from the pipeline stream seed the sharded engine's
+		// per-shard sub-streams. The engine's output is a function of the
+		// seeds alone — never of RewireWorkers — so the pipeline remains a
+		// deterministic function of Options.Rand's stream at any worker
+		// count.
+		seed1, seed2 := opts.Rand.Uint64(), opts.Rand.Uint64()
+		g, stats := dkseries.RewireSharded(built.Graph.N(), fixed, built.Added, dkseries.ShardedRewireOptions{
 			TargetClustering: est.Clustering,
 			RC:               opts.rc(),
-			Rand:             opts.Rand,
+			Seed1:            seed1,
+			Seed2:            seed2,
 			ForbidDegenerate: opts.ForbidDegenerate,
+			Workers:          opts.RewireWorkers,
 		})
 		res.Graph = g
 		res.RewireStats = stats

@@ -61,6 +61,27 @@ func BenchmarkRewire(b *testing.B) {
 	}
 	b.Run("adjset", func(b *testing.B) { run(b, Rewire) })
 	b.Run("mapref", func(b *testing.B) { run(b, rewireMapRef) })
+	// The sharded engine on the same workload. sharded1 vs sharded8
+	// isolates parallel scaling; sharded1 vs adjset isolates the
+	// algorithmic win (rejections never mutate, so they never revert).
+	runSharded := func(b *testing.B, workers int) {
+		b.ReportAllocs()
+		var accepted int
+		for i := 0; i < b.N; i++ {
+			cands := append([]graph.Edge(nil), res.Added...)
+			_, st := RewireSharded(src.N(), nil, cands, ShardedRewireOptions{
+				TargetClustering: target,
+				RC:               5,
+				Seed1:            uint64(i),
+				Seed2:            uint64(i) ^ 0x5eed,
+				Workers:          workers,
+			})
+			accepted = st.Accepted
+		}
+		b.ReportMetric(float64(accepted), "accepted/op")
+	}
+	b.Run("sharded1", func(b *testing.B) { runSharded(b, 1) })
+	b.Run("sharded8", func(b *testing.B) { runSharded(b, 8) })
 }
 
 func BenchmarkRewireAttempts(b *testing.B) {

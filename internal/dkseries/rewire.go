@@ -27,12 +27,19 @@ type RewireOptions struct {
 // DefaultRC is the paper's rewiring-attempt coefficient (Sec. V-E).
 const DefaultRC = 500
 
-// RewireStats reports what the rewiring loop did.
+// RewireStats reports what the rewiring loop did. Attempts, Accepted and
+// the L1 fields are filled by both engines; Rounds and Recomputed are
+// sharded-engine activity counters and stay zero under the serial engine.
 type RewireStats struct {
 	Attempts  int
 	Accepted  int
 	InitialL1 float64 // normalized L1 distance of c(k) before rewiring
 	FinalL1   float64 // and after
+	// Rounds is the number of propose/commit rounds RewireSharded ran.
+	Rounds int
+	// Recomputed counts proposals whose precomputed delta was invalidated
+	// by an earlier commit of the same round and re-evaluated serially.
+	Recomputed int
 }
 
 // Rewire implements Algorithm 6: given a graph expressed as fixed edges
@@ -46,6 +53,12 @@ type RewireStats struct {
 //
 // n is the node count; candidates is mutated in place (final endpoints).
 // The returned graph is assembled from fixed plus the rewired candidates.
+//
+// This is the serial reference engine, and its seeded trajectory is
+// frozen (pinned byte-for-byte to the map-based reference in
+// rewire_mapref_test.go). The restoration pipeline runs the parallel
+// RewireSharded instead; use Rewire when a single *rand.Rand must drive
+// the whole attempt sequence, as DK25 does.
 func Rewire(n int, fixed []graph.Edge, candidates []graph.Edge, opts RewireOptions) (*graph.Graph, RewireStats) {
 	st := newRewireState(n, fixed, candidates, opts.TargetClustering)
 	stats := RewireStats{InitialL1: st.distance()}
@@ -236,9 +249,17 @@ func (st *rewireState) setEndpoint(e, side, node int) {
 
 // termAt computes |c(k) - target(k)| from current sums.
 func (st *rewireState) termAt(k int) float64 {
+	return st.termWith(k, st.sumT[k])
+}
+
+// termWith computes |c(k) - target(k)| for a hypothetical triangle sum,
+// letting the sharded engine's accept test evaluate a proposal without
+// mutating sumT. The expression is identical to the serial path bit for
+// bit — both engines must make the same float for the same sums.
+func (st *rewireState) termWith(k int, sumT int64) float64 {
 	var present float64
 	if k >= 2 && st.nk[k] > 0 {
-		present = 2 * float64(st.sumT[k]) / (float64(st.nk[k]) * float64(k) * float64(k-1))
+		present = 2 * float64(sumT) / (float64(st.nk[k]) * float64(k) * float64(k-1))
 	}
 	d := present - st.tgt[k]
 	if d < 0 {

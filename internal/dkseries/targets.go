@@ -1,9 +1,21 @@
 // Package dkseries implements the dK-series machinery of Sec. III-C: target
 // degree vectors and joint degree matrices with their realizability
 // conditions (DV-1..DV-3, JDM-1..JDM-4), half-edge graph construction that
-// extends a fixed base subgraph (Algorithm 5), the clustering-targeted edge
-// rewiring engine with incremental triangle maintenance (Algorithm 6), and
+// extends a fixed base subgraph (Algorithm 5), clustering-targeted edge
+// rewiring with incremental triangle maintenance (Algorithm 6), and
 // standalone 0K/1K/2K/2.5K graph generators.
+//
+// Rewiring ships as two engines. Rewire is the serial reference: it
+// mutates the adjacency on every attempt and reverts on rejection, and
+// its trajectory is frozen byte-for-byte against the map-based
+// implementation it replaced. RewireSharded is the parallel engine the
+// restoration pipeline runs: deterministic shards propose read-only from
+// independent PCG sub-streams and accepted swaps merge in fixed order,
+// so its output is byte-identical at any worker count (see the
+// rewire_sharded.go file comment for the full determinism contract).
+// The engines share state and accept semantics but not proposal
+// sequences: for one seed they produce different, equally valid
+// rewirings.
 package dkseries
 
 import (

@@ -106,6 +106,13 @@ type Config struct {
 	// parallel.DefaultWorkers). Every cell derives its own PCG stream
 	// from Seed, so the results are byte-identical at any worker count.
 	Workers int
+	// RewireWorkers bounds the propose-phase parallelism inside each
+	// cell's phase-4 rewiring (default 1: the engine's parallelism unit
+	// is the cell, and nesting rewiring pools under Workers concurrent
+	// cells multiplies the goroutine count for no determinism gain —
+	// rewiring output is byte-identical at any value, the same reasoning
+	// as PropOpts.Workers).
+	RewireWorkers int
 	// Original, when non-nil, is the precomputed property result of the
 	// original graph (from ComputeOriginal), letting sweeps that evaluate
 	// one graph under many configurations skip recomputing it per call.
@@ -161,6 +168,9 @@ func (c Config) withDefaults() Config {
 	// independent of both Workers and the host CPU count.
 	if c.PropOpts.Workers <= 0 {
 		c.PropOpts.Workers = 1
+	}
+	if c.RewireWorkers <= 0 {
+		c.RewireWorkers = 1
 	}
 	return c
 }
@@ -465,7 +475,7 @@ func generate(g *graph.Graph, cfg Config, m Method, seed int, walk *sampling.Cra
 		sg, d := subgraphOf(walk)
 		return sg, d, 0, nil
 	case MethodGjoka, MethodProposed:
-		res, err := cfg.Restorer(m, walk, core.Options{RC: cfg.RC, Rand: r})
+		res, err := cfg.Restorer(m, walk, core.Options{RC: cfg.RC, RewireWorkers: cfg.RewireWorkers, Rand: r})
 		if err != nil {
 			return nil, 0, 0, err
 		}

@@ -34,6 +34,15 @@ type Config struct {
 	// of the host's core count, the same reasoning as the evaluation
 	// harness's per-cell default).
 	PropsWorkers int
+	// RewireWorkers bounds the propose-phase parallelism of each job's
+	// phase-4 rewiring (default 1: the daemon's parallelism unit is the
+	// job, and nesting rewiring pools under Workers concurrent jobs
+	// multiplies goroutines for no benefit on a loaded pool). Rewiring
+	// output is byte-identical at any value, which is why this knob is
+	// service configuration and deliberately NOT part of the job spec or
+	// its content address: the same submission hits the same cache line
+	// on daemons configured differently.
+	RewireWorkers int
 	// Logf reports job lifecycle events (log.Printf-shaped; default
 	// silent).
 	Logf func(format string, args ...any)
@@ -79,6 +88,12 @@ type Service struct {
 	remoteCrawls atomic.Int64 // server-side graphd crawls performed
 	running      atomic.Int64 // jobs currently executing
 
+	// Cumulative pipeline-phase wall clock (microseconds) over every
+	// pipeline execution (cache hits excluded — they run no phases).
+	// rewire ⊂ pipeline; the difference is phases 1-3 plus estimation.
+	pipelineUS atomic.Int64
+	rewireUS   atomic.Int64
+
 	// testBeforeRun, when set (tests only), runs at the top of every
 	// worker execution — a seam for stalling workers deterministically.
 	testBeforeRun func(*Job)
@@ -113,6 +128,9 @@ func New(cfg Config) (*Service, error) {
 	}
 	if cfg.PropsWorkers <= 0 {
 		cfg.PropsWorkers = 1
+	}
+	if cfg.RewireWorkers <= 0 {
+		cfg.RewireWorkers = 1
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -328,6 +346,7 @@ func (s *Service) run(j *Job) {
 		RC:               j.spec.rc,
 		SkipRewiring:     j.spec.skip,
 		ForbidDegenerate: j.spec.forbid,
+		RewireWorkers:    s.cfg.RewireWorkers,
 		// The canonical seeded stream — the byte-identical-to-cmd/restore
 		// contract.
 		Rand: core.PipelineRand(j.spec.seed),
@@ -348,6 +367,8 @@ func (s *Service) run(j *Job) {
 		j.fail(err)
 		return
 	}
+	s.pipelineUS.Add(res.TotalTime.Microseconds())
+	s.rewireUS.Add(res.RewireTime.Microseconds())
 
 	j.setRunning(PhaseEncoding)
 	bin, err := graph.AppendBinary(nil, res.Graph)
@@ -455,6 +476,9 @@ func (s *Service) Metrics() []daemon.Metric {
 		{Name: "restored_cache_entries", Value: int64(s.cache.Len())},
 		{Name: "restored_remote_crawls", Value: s.remoteCrawls.Load()},
 		{Name: "restored_workers", Value: int64(s.cfg.Workers)},
+		{Name: "restored_rewire_workers", Value: int64(s.cfg.RewireWorkers)},
+		{Name: "restored_pipeline_usec_total", Value: s.pipelineUS.Load()},
+		{Name: "restored_rewire_usec_total", Value: s.rewireUS.Load()},
 	}
 }
 

@@ -1,0 +1,43 @@
+package sampling
+
+import "math/rand/v2"
+
+// Sub-stream derivation. Parallel subsystems that need many independent,
+// reproducible RNG streams — one per worker-pool job, one per rewiring
+// shard — must derive them from a (seed1, seed2) base pair instead of
+// sharing a single *rand.Rand: a shared stream's draw order depends on
+// goroutine scheduling, while derived streams depend only on the stream
+// index. SubSeeds is the canonical derivation: it finalizes the index
+// through SplitMix64 so that adjacent indices (0, 1, 2, ...) land in
+// statistically unrelated PCG streams, and mixes the result into seed2 so
+// the base pair still selects the whole family.
+//
+// The derivation is part of any caller's byte-determinism contract:
+// changing these constants re-seeds every consumer, so they are as frozen
+// as the on-disk formats.
+
+// splitmix64 is the SplitMix64 finalizer (Steele, Lea & Flood 2014) — the
+// standard generator for seeding families of PRNG streams from a counter.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SubSeeds derives the PCG seed pair of sub-stream idx from a base pair.
+// Distinct indices yield distinct, decorrelated streams; idx 0 is already
+// a different stream than the base pair itself.
+func SubSeeds(seed1, seed2, idx uint64) (uint64, uint64) {
+	return seed1, seed2 ^ splitmix64(idx+1)
+}
+
+// SubStream returns the *rand.Rand of sub-stream idx of the (seed1,
+// seed2) family. Two calls with equal arguments return generators that
+// produce identical draw sequences, regardless of which goroutine owns
+// them — the property that lets a fixed shard/job decomposition stay
+// byte-deterministic at any worker count.
+func SubStream(seed1, seed2, idx uint64) *rand.Rand {
+	s1, s2 := SubSeeds(seed1, seed2, idx)
+	return rand.New(rand.NewPCG(s1, s2))
+}

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# bench_gate.sh — fail when a freshly recorded benchmark baseline regresses
+# against the committed one.
+#
+# Usage: bench_gate.sh COMMITTED.json FRESH.json [MAX_REGRESSION_PCT]
+#
+# Joins the two benchjson documents on benchmark name and compares ns/op.
+# A benchmark present in both files whose fresh ns/op exceeds the committed
+# value by more than MAX_REGRESSION_PCT (default 20) fails the gate.
+# Benchmarks that exist on only one side are reported but never fail the
+# gate: new benchmarks have no baseline yet, and retired ones have no fresh
+# number — both are a review concern, not a perf regression.
+#
+# The threshold is deliberately loose. Shared CI runners jitter by tens of
+# percent run to run; this gate exists to catch the 2x accidental
+# regression (a dropped fast path, an O(n^2) slip), not 5% noise. Tighten
+# it only on quiet dedicated hardware.
+set -euo pipefail
+
+if [ $# -lt 2 ] || [ $# -gt 3 ]; then
+  echo "usage: $0 COMMITTED.json FRESH.json [MAX_REGRESSION_PCT]" >&2
+  exit 2
+fi
+committed=$1
+fresh=$2
+max_pct=${3:-20}
+
+for f in "$committed" "$fresh"; do
+  if [ ! -f "$f" ]; then
+    echo "bench_gate: missing $f" >&2
+    exit 2
+  fi
+done
+
+# name<TAB>ns_per_op lines for one document.
+extract() {
+  jq -r '.benchmarks[] | [.name, (.ns_per_op | tostring)] | @tsv' "$1"
+}
+
+extract "$committed" | sort > /tmp/bench_gate_base.$$
+extract "$fresh" | sort > /tmp/bench_gate_fresh.$$
+trap 'rm -f /tmp/bench_gate_base.$$ /tmp/bench_gate_fresh.$$' EXIT
+
+# Inner join on name; awk applies the threshold to each pair.
+join -t "$(printf '\t')" /tmp/bench_gate_base.$$ /tmp/bench_gate_fresh.$$ |
+  awk -F '\t' -v max="$max_pct" '
+    {
+      base = $2 + 0; now = $3 + 0
+      if (base <= 0) next
+      pct = (now - base) * 100.0 / base
+      mark = "ok"
+      if (pct > max) { mark = "REGRESSED"; bad++ }
+      printf "%-60s %14.0f -> %14.0f ns/op  %+7.1f%%  %s\n", $1, base, now, pct, mark
+    }
+    END { exit bad > 0 ? 1 : 0 }
+  ' || gate_failed=1
+
+# One-sided benchmarks: informational only.
+comm -23 <(cut -f1 /tmp/bench_gate_base.$$) <(cut -f1 /tmp/bench_gate_fresh.$$) |
+  sed 's/^/bench_gate: note: committed-only (retired?): /'
+comm -13 <(cut -f1 /tmp/bench_gate_base.$$) <(cut -f1 /tmp/bench_gate_fresh.$$) |
+  sed 's/^/bench_gate: note: fresh-only (no baseline yet): /'
+
+if [ "${gate_failed:-0}" -ne 0 ]; then
+  echo "bench_gate: FAIL — ns/op regression over ${max_pct}% against $committed" >&2
+  exit 1
+fi
+echo "bench_gate: PASS — no benchmark regressed over ${max_pct}% against $committed"
