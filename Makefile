@@ -89,10 +89,19 @@ oracle-e2e:
 restored-e2e:
 	bash scripts/restored_e2e.sh
 
+# Mirrors the CI lint job: vet, gofmt, the sgrlint determinism suite
+# (test files included), and govulncheck when installed (CI always runs
+# it; locally it is skipped rather than go-installed so the target works
+# offline).
 lint:
 	$(GO) vet ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) run ./cmd/sgrlint ./...
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipped (CI runs it)"; fi
 
 # Short fuzz smoke of the native fuzz targets.
 fuzz:

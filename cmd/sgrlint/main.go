@@ -1,0 +1,64 @@
+// Command sgrlint runs the sgrlint static-analysis suite: the analyzers
+// in internal/lint that enforce this repository's determinism contracts
+// (no output-ordering from map iteration, no unseeded or time-derived
+// randomness, no wall-clock reads in pipeline code, no scheduling-ordered
+// float accumulation) before any test runs.
+//
+// Usage:
+//
+//	go run ./cmd/sgrlint [-tests=false] [-list] [packages]
+//
+// With no package patterns it checks ./... — the whole repository,
+// including test files (the differential guards must themselves be
+// deterministic). Findings print as file:line:col, and the exit status is
+// 1 when any survive suppression; a finding is suppressed by a
+// //sgr:nondet-ok <reason> directive on the same or previous line, and
+// stale directives (suppressing nothing) are findings too.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sgr/internal/lint"
+)
+
+func main() {
+	tests := flag.Bool("tests", true, "also analyze _test.go files and external test packages")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: sgrlint [flags] [package patterns]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	units, err := lint.Load(".", *tests, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgrlint:", err)
+		os.Exit(2)
+	}
+	findings, err := lint.Run(units, lint.Analyzers(), true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sgrlint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "sgrlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

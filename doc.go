@@ -114,4 +114,16 @@
 // (internal/props/csrdiff_test.go), and `make bench-props-json` records
 // the read-path baseline in BENCH_props.json (see README.md, "The read
 // path: CSR snapshots").
+//
+// The determinism contracts are also enforced statically: cmd/sgrlint
+// (internal/lint) runs five analyzers over the typed ASTs of every
+// determinism-critical package — maprange (no order-sensitive map
+// iteration), seededrand (no implicitly seeded or wall-clock-seeded
+// randomness), wallclock (no time.Now on the pipeline or content-address
+// path), floatorder (no cross-goroutine float accumulation outside
+// index-addressed slots), and direct, which validates the
+// //sgr:nondet-ok <reason> escape hatch: reasonless or stale
+// justifications are findings themselves. `make lint` and the CI lint
+// job run the suite over the whole tree, test files included, so a
+// nondeterminism hazard fails the build before it can flake a test.
 package sgr

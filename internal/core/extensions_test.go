@@ -37,6 +37,7 @@ func TestRestoreWithOracleEstimates(t *testing.T) {
 	}
 	jdd := make(map[estimate.DegreePair]float64)
 	twoM := 2 * float64(g.M())
+	//sgr:nondet-ok Pair is injective on canonical JDM keys, so each iteration writes its own slot
 	for kk, cnt := range g.JointDegreeMatrix() {
 		mu := 1.0
 		if kk[0] == kk[1] {

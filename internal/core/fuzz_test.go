@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand/v2"
+	"sort"
 	"testing"
 
 	"sgr/internal/dkseries"
@@ -32,6 +33,9 @@ func randomEstimates(r *rand.Rand) *estimate.Estimates {
 	for k := range dd {
 		degrees = append(degrees, k)
 	}
+	// Sorted so the r.IntN draws below pick the same degrees for the same
+	// seed: map order would silently vary the fuzz case per process.
+	sort.Ints(degrees)
 	jTotal := 0.0
 	for i := 0; i < 1+r.IntN(3*len(degrees)); i++ {
 		a := degrees[r.IntN(len(degrees))]

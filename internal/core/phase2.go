@@ -46,6 +46,7 @@ func initJDM(est *estimate.Estimates, dv dkseries.DegreeVector) *jdmState {
 		mHat: make(map[[2]int]float64, len(est.JDD)),
 		dv:   dv,
 	}
+	//sgr:nondet-ok each JDD key owns disjoint mHat/jdm cells and Add is an integer add, so the writes commute
 	for kk, p := range est.JDD {
 		if p <= 0 || kk.K < 1 || kk.Kp > kmax {
 			continue

@@ -97,6 +97,7 @@ func (res *Result) Validate() error {
 		return fmt.Errorf("core: graph max degree %d exceeds target kmax %d", got.KMax(), res.TargetDV.KMax())
 	}
 	gj := dkseries.JDMFromGraph(res.Graph)
+	//sgr:nondet-ok validation sweep: any mismatched cell aborts identically, only the cell named in the error varies
 	for ky, c := range res.TargetJDM.Cells() {
 		if gj.Get(ky[0], ky[1]) != c {
 			return fmt.Errorf("core: JDM not realized at (%d,%d): got %d want %d", ky[0], ky[1], gj.Get(ky[0], ky[1]), c)
@@ -152,7 +153,7 @@ func runWith(c *sampling.Crawl, est *estimate.Estimates, opts Options, useSubgra
 	if opts.Rand == nil {
 		return nil, fmt.Errorf("core: Options.Rand is required")
 	}
-	start := time.Now()
+	start := time.Now() //sgr:nondet-ok timing metadata for Result.TotalTime; never feeds graph bytes or the result key
 	if est == nil {
 		w, err := estimate.NewWalk(c)
 		if err != nil {
@@ -207,7 +208,7 @@ func runWith(c *sampling.Crawl, est *estimate.Estimates, opts Options, useSubgra
 	if opts.SkipRewiring {
 		res.Graph = built.Graph
 	} else {
-		rwStart := time.Now()
+		rwStart := time.Now() //sgr:nondet-ok timing metadata for Result.RewireTime; never feeds graph bytes or the result key
 		var fixed []graph.Edge
 		if sub != nil {
 			fixed = sub.Graph.Edges()
@@ -228,8 +229,8 @@ func runWith(c *sampling.Crawl, est *estimate.Estimates, opts Options, useSubgra
 		})
 		res.Graph = g
 		res.RewireStats = stats
-		res.RewireTime = time.Since(rwStart)
+		res.RewireTime = time.Since(rwStart) //sgr:nondet-ok timing metadata; never feeds graph bytes or the result key
 	}
-	res.TotalTime = time.Since(start)
+	res.TotalTime = time.Since(start) //sgr:nondet-ok timing metadata; never feeds graph bytes or the result key
 	return res, nil
 }

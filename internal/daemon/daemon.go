@@ -45,6 +45,12 @@ func MetricsHandler(collect func() []Metric) http.Handler {
 // HealthzHandler serves a liveness probe: 200 with {"status":"ok"} plus the
 // daemon's details (node counts, queue depths — whatever the caller
 // supplies). Details may be nil.
+//
+// The body is built in a map, yet its JSON key order is stable across
+// calls and processes: encoding/json marshals map keys in sorted order,
+// so probe scripts may diff or hash the body byte-for-byte. (The range
+// over details below is order-insensitive — disjoint key writes — and
+// the encoder re-sorts regardless.)
 func HealthzHandler(details func() map[string]any) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		body := map[string]any{"status": "ok"}

@@ -52,6 +52,24 @@ func TestHealthzHandler(t *testing.T) {
 	}
 }
 
+// TestHealthzKeyOrderStable pins the documented contract that the healthz
+// body is byte-stable: encoding/json sorts map keys, so neither Go's
+// randomized map iteration nor the detail map's insertion order can
+// reorder the JSON. Probe scripts are allowed to hash the body.
+func TestHealthzKeyOrderStable(t *testing.T) {
+	h := HealthzHandler(func() map[string]any {
+		return map[string]any{"zeta": 1, "alpha": 2, "mid": 3}
+	})
+	want := "{\"alpha\":2,\"mid\":3,\"status\":\"ok\",\"zeta\":1}\n"
+	for i := 0; i < 32; i++ {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/healthz", nil))
+		if got := rr.Body.String(); got != want {
+			t.Fatalf("call %d: body = %q, want %q", i, got, want)
+		}
+	}
+}
+
 func TestWriteAddrFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "addr")
 	if err := WriteAddrFile(path, "127.0.0.1:12345"); err != nil {
@@ -79,5 +97,53 @@ func TestWriteAddrFile(t *testing.T) {
 	data, _ = os.ReadFile(path)
 	if string(data) != "127.0.0.1:54321\n" {
 		t.Fatalf("rewritten addr file contents = %q", data)
+	}
+}
+
+// TestWriteAddrFileAtomic exercises the write-then-rename sequencing: a
+// reader that observes the destination path must see a complete address —
+// the temp file carries the partial state, and a failed write must not
+// disturb an already-published address.
+func TestWriteAddrFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "addr")
+	if err := WriteAddrFile(path, "127.0.0.1:1111"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-create a stale temp file: the next publish must clobber it and
+	// still land atomically.
+	if err := os.WriteFile(path+".tmp", []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAddrFile(path, "127.0.0.1:2222"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "127.0.0.1:2222\n" {
+		t.Fatalf("addr file contents = %q", data)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+func TestWriteAddrFileUnwritableDir(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: directory permissions are not enforced")
+	}
+	dir := filepath.Join(t.TempDir(), "ro")
+	if err := os.Mkdir(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "addr")
+	if err := WriteAddrFile(path, "127.0.0.1:3333"); err == nil {
+		t.Fatal("WriteAddrFile into read-only dir succeeded, want error")
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Fatalf("addr file unexpectedly exists after failed write: %v", statErr)
 	}
 }

@@ -118,6 +118,7 @@ func newMapRewireState(n int, fixed, candidates []graph.Edge, target map[int]flo
 			continue
 		}
 		nbrs := make([]int, 0, len(row))
+		//sgr:nondet-ok nbrs only feeds the unordered-pair sweep below, whose integer bumps commute
 		for v := range row {
 			nbrs = append(nbrs, v)
 		}
@@ -225,6 +226,7 @@ func (st *mapRewireState) addEdge(u, v int) {
 	if len(small) > len(large) {
 		small, large = large, small
 	}
+	//sgr:nondet-ok common-neighbor sweep: integer adds into cn and per-node bumpT slots commute
 	for w, cw := range small {
 		if w == u || w == v {
 			continue
@@ -258,6 +260,7 @@ func (st *mapRewireState) removeEdge(u, v int) {
 	if len(small) > len(large) {
 		small, large = large, small
 	}
+	//sgr:nondet-ok common-neighbor sweep: integer subtractions from cn and per-node bumpT slots commute
 	for w, cw := range small {
 		if w == u || w == v {
 			continue

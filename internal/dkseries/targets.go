@@ -222,6 +222,7 @@ func (j *JDM) Check(dv DegreeVector) error {
 
 // CheckAgainstBase verifies JDM-4: m(k,k') >= base m'(k,k') for all pairs.
 func (j *JDM) CheckAgainstBase(base *JDM) error {
+	//sgr:nondet-ok validation sweep: any violating cell fails identically, only the cell named in the error varies
 	for ky, c := range base.cells {
 		if j.cells[ky] < c {
 			return fmt.Errorf("dkseries: m(%d,%d) = %d < base %d (JDM-4)", ky[0], ky[1], j.cells[ky], c)
@@ -234,6 +235,7 @@ func (j *JDM) CheckAgainstBase(base *JDM) error {
 // actual degree.
 func JDMFromGraph(g *graph.Graph) *JDM {
 	j := NewJDM(g.MaxDegree())
+	//sgr:nondet-ok each key owns a disjoint JDM cell and Add is an integer add, so the writes commute
 	for kk, c := range g.JointDegreeMatrix() {
 		j.Add(kk[0], kk[1], c)
 	}

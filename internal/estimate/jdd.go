@@ -1,6 +1,10 @@
 package estimate
 
-import "sgr/internal/adjset"
+import (
+	"sort"
+
+	"sgr/internal/adjset"
+)
 
 // DegreePair is a canonical (K <= Kp) degree pair keying joint-degree maps.
 // The stored value is the full-matrix entry P(k,k') = P(k',k).
@@ -146,12 +150,19 @@ type Estimates struct {
 // triangle-counting literature (Refs. [10], [20] of the paper) estimates
 // directly; here it falls out of the degree and clustering spectra.
 func (e *Estimates) TriangleCount() float64 {
+	// Accumulate in ascending degree order: float addition is not
+	// associative, and map order would leak into the returned bits.
+	ks := make([]int, 0, len(e.DegreeDist))
+	for k := range e.DegreeDist {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
 	var s float64
-	for k, p := range e.DegreeDist {
+	for _, k := range ks {
 		if k < 2 {
 			continue
 		}
-		s += p * e.Clustering[k] * float64(k) * float64(k-1) / 2
+		s += e.DegreeDist[k] * e.Clustering[k] * float64(k) * float64(k-1) / 2
 	}
 	return e.N * s / 3
 }

@@ -2,6 +2,7 @@ package gen
 
 import (
 	"math/rand/v2"
+	"sort"
 
 	"sgr/internal/graph"
 )
@@ -55,11 +56,7 @@ func DegreeCorrectedSBM(degrees, comm []int, mixing float64, r *rand.Rand) *grap
 		comms = append(comms, c)
 	}
 	// Deterministic order for reproducibility.
-	for i := 1; i < len(comms); i++ {
-		for j := i; j > 0 && comms[j] < comms[j-1]; j-- {
-			comms[j], comms[j-1] = comms[j-1], comms[j]
-		}
-	}
+	sort.Ints(comms)
 	for _, c := range comms {
 		pair(within[c])
 	}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix is the marker of an sgrlint suppression. It follows the
+// Go toolchain's directive-comment form: `//sgr:` with no space, so gofmt
+// never reflows it away from the code it annotates.
+const directivePrefix = "//sgr:"
+
+// directiveVerb is the one verb sgrlint accepts: //sgr:nondet-ok <reason>.
+const directiveVerb = "nondet-ok"
+
+// Directive is one parsed, well-formed //sgr:nondet-ok comment. It
+// suppresses suite findings on its own line and on the following line
+// (covering both end-of-line and own-line placement).
+type Directive struct {
+	Pos    token.Pos
+	File   string
+	Line   int
+	Reason string
+}
+
+// parseDirectives scans a file's comments for //sgr: directives, returning
+// the well-formed suppressions and a diagnostic for every malformed one
+// (unknown verb, missing reason). Malformed directives never suppress —
+// an escape hatch without a recorded justification is itself a finding.
+func parseDirectives(fset *token.FileSet, f *ast.File) ([]Directive, []Diagnostic) {
+	var (
+		valid []Directive
+		bad   []Diagnostic
+	)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, directivePrefix)
+			verb, reason, _ := strings.Cut(rest, " ")
+			if verb != directiveVerb {
+				bad = append(bad, Diagnostic{
+					Pos:     c.Pos(),
+					Message: "unknown //sgr: directive //sgr:" + verb + " (only //sgr:nondet-ok <reason> is defined)",
+				})
+				continue
+			}
+			reason = strings.TrimSpace(reason)
+			if reason == "" {
+				bad = append(bad, Diagnostic{
+					Pos:     c.Pos(),
+					Message: "//sgr:nondet-ok needs a reason: every suppression must record why the flagged code cannot leak nondeterminism into output",
+				})
+				continue
+			}
+			p := fset.Position(c.Pos())
+			valid = append(valid, Directive{Pos: c.Pos(), File: p.Filename, Line: p.Line, Reason: reason})
+		}
+	}
+	return valid, bad
+}
+
+// Direct is the directive-validation analyzer: it reports malformed
+// //sgr: directives. The suite runner additionally reports, under this
+// analyzer's name, well-formed directives that suppress no finding — a
+// stale directive survives the fix it once justified and must be deleted
+// so the suppression inventory stays exact.
+var Direct = &Analyzer{
+	Name: "direct",
+	Doc: "validate //sgr:nondet-ok suppression directives: a reason is " +
+		"required, unknown //sgr: verbs are rejected, and (suite-wide) a " +
+		"directive that suppresses nothing is flagged as stale",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			_, bad := parseDirectives(pass.Fset, f)
+			for _, d := range bad {
+				pass.Report(d)
+			}
+		}
+		return nil
+	},
+}

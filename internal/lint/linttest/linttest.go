@@ -1,0 +1,184 @@
+// Package linttest is the golden-test harness for the sgrlint analyzers,
+// mirroring golang.org/x/tools/go/analysis/analysistest: a fixture
+// directory of Go files annotated with `// want "substring"` comments is
+// type-checked and analyzed, and the produced findings are diffed against
+// the expectations line by line. Fixtures always run through the full
+// suite pipeline — scope-free, with //sgr:nondet-ok suppression and
+// stale-directive detection active — so directive interplay is testable.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sgr/internal/lint"
+)
+
+// Run type-checks the fixture package in dir, runs the named analyzers
+// (plus directive validation, which is always on), and compares findings
+// against the fixtures' // want comments.
+func Run(t *testing.T, dir string, analyzerNames ...string) {
+	t.Helper()
+	findings := analyze(t, dir, analyzerNames...)
+	wants := expectations(t, dir)
+
+	matched := make([]bool, len(wants))
+	for _, f := range findings {
+		rendered := f.Analyzer + ": " + f.Message
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != filepath.Base(f.Position.Filename) || w.line != f.Position.Line {
+				continue
+			}
+			if strings.Contains(rendered, w.substr) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding at %s:%d: %s", filepath.Base(f.Position.Filename), f.Position.Line, rendered)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected finding containing %q, got none", w.file, w.line, w.substr)
+		}
+	}
+}
+
+// analyze loads and runs the suite over the fixture dir.
+func analyze(t *testing.T, dir string, analyzerNames ...string) []lint.Finding {
+	t.Helper()
+	unit, err := loadFixture(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	selected := []*lint.Analyzer{lint.Direct}
+	for _, name := range analyzerNames {
+		if name == lint.Direct.Name {
+			continue
+		}
+		a := byName(name)
+		if a == nil {
+			t.Fatalf("unknown analyzer %q", name)
+		}
+		selected = append(selected, a)
+	}
+	findings, err := lint.Run([]*lint.Unit{unit}, selected, false)
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	return findings
+}
+
+func byName(name string) *lint.Analyzer {
+	for _, a := range lint.Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// loadFixture parses every .go file in dir as one package and type-checks
+// it with the same go-list-export machinery the real driver uses, so
+// fixtures may import both the standard library and sgr packages.
+func loadFixture(dir string) (*lint.Unit, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var (
+		files []*ast.File
+		names []string
+	)
+	imports := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		names = append(names, path)
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			imports[p] = true
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	var deps []string
+	for p := range imports {
+		deps = append(deps, p)
+	}
+	sort.Strings(deps)
+	return lint.CheckFixture(fset, "fixture/"+filepath.Base(dir), files, names, deps)
+}
+
+// expectations collects // want "substr" ["substr" ...] comments.
+func expectations(t *testing.T, dir string) []want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []want
+	re := regexp.MustCompile(`//\s*want\s+(.*)$`)
+	strRe := regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := re.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			// A want comment alone on its line asserts about the previous
+			// line (needed when the previous line is itself a comment — a
+			// //sgr: directive — that a trailing comment cannot follow).
+			target := i + 1
+			if strings.HasPrefix(strings.TrimSpace(line), "//") {
+				target = i
+			}
+			quoted := strRe.FindAllString(m[1], -1)
+			if len(quoted) == 0 {
+				t.Fatalf("%s:%d: // want comment without a quoted pattern", e.Name(), i+1)
+			}
+			for _, q := range quoted {
+				s, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %s: %v", e.Name(), i+1, q, err)
+				}
+				wants = append(wants, want{file: e.Name(), line: target, substr: s})
+			}
+		}
+	}
+	return wants
+}
+
+type want struct {
+	file   string
+	line   int
+	substr string
+}

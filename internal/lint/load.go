@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Unit is one analysis unit: a type-checked package variant. For a package
+// with internal test files, the loader analyzes the test-augmented variant
+// (library files + _test.go files, as the compiler builds it) instead of
+// the plain package, so every file is analyzed exactly once; external
+// test packages (package foo_test) are their own unit.
+type Unit struct {
+	PkgPath   string // the declared import path (without test-variant suffix)
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Filenames []string
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	GoFiles    []string
+	ForTest    string
+	ImportMap  map[string]string
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` in dir over args and decodes
+// the JSON stream. -export makes the go command produce gc export data for
+// every package in the closure, which is how the type checker resolves
+// imports without golang.org/x/tools/go/packages (unavailable offline).
+func goList(dir string, withTests bool, patterns []string) (map[string]*listPkg, []*listPkg, error) {
+	argv := []string{"list", "-e", "-export", "-deps"}
+	if withTests {
+		argv = append(argv, "-test")
+	}
+	argv = append(argv, "-json=ImportPath,Name,Dir,Standard,DepOnly,Export,GoFiles,ForTest,ImportMap,Incomplete,Error")
+	argv = append(argv, patterns...)
+	cmd := exec.Command("go", argv...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	byPath := make(map[string]*listPkg)
+	var order []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list decode: %v", err)
+		}
+		byPath[p.ImportPath] = p
+		order = append(order, p)
+	}
+	return byPath, order, nil
+}
+
+// Load type-checks the packages matching patterns (go list syntax, e.g.
+// "./...") relative to dir and returns one Unit per package variant worth
+// analyzing. withTests folds _test.go files into their package's unit and
+// adds external-test packages.
+func Load(dir string, withTests bool, patterns []string) ([]*Unit, error) {
+	byPath, order, err := goList(dir, withTests, patterns)
+	if err != nil {
+		return nil, err
+	}
+	// A plain package is superseded by its test-augmented variant
+	// "p [p.test]" (same files plus the internal test files).
+	augmented := make(map[string]bool)
+	for _, p := range order {
+		if p.ForTest != "" && p.Name != "main" && p.ImportPath == p.ForTest+" ["+p.ForTest+".test]" {
+			augmented[p.ForTest] = true
+		}
+	}
+	fset := token.NewFileSet()
+	var units []*Unit
+	for _, p := range order {
+		switch {
+		case p.Standard || p.DepOnly:
+			continue
+		case p.Error != nil || p.Incomplete:
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, listErr(p))
+		case strings.HasSuffix(p.ImportPath, ".test") && p.Name == "main":
+			continue // synthesized test binary main
+		case p.ForTest == "" && augmented[p.ImportPath]:
+			continue // analyzed via its test-augmented variant instead
+		}
+		u, err := checkUnit(fset, p, byPath)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+func listErr(p *listPkg) string {
+	if p.Error != nil {
+		return p.Error.Err
+	}
+	return "incomplete (missing dependency?)"
+}
+
+// checkUnit parses and type-checks one go-list package entry against the
+// gc export data of its dependency closure.
+func checkUnit(fset *token.FileSet, p *listPkg, byPath map[string]*listPkg) (*Unit, error) {
+	var (
+		files []*ast.File
+		names []string
+	)
+	for _, f := range p.GoFiles {
+		path := filepath.Join(p.Dir, f)
+		af, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+		names = append(names, path)
+	}
+	// The import path a unit declares: test-augmented variants keep their
+	// package's path; external test packages get path + "_test".
+	declPath := p.ImportPath
+	if i := strings.Index(declPath, " ["); i >= 0 {
+		declPath = declPath[:i]
+	}
+	pkg, info, err := typecheck(fset, declPath, files, importerFor(fset, p, byPath))
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+	}
+	// Scope rules key on the underlying package: external test packages
+	// (path_test) are governed by the package they exercise.
+	return &Unit{
+		PkgPath:   strings.TrimSuffix(declPath, "_test"),
+		Fset:      fset,
+		Files:     files,
+		Filenames: names,
+		Pkg:       pkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// importerFor builds a types.Importer resolving imports through the unit's
+// ImportMap (test variants import test variants) and then the export data
+// recorded by `go list -export`. A fresh importer per unit keeps the gc
+// importer's path-keyed cache from mixing variant and plain packages.
+func importerFor(fset *token.FileSet, p *listPkg, byPath map[string]*listPkg) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := p.ImportMap[path]; ok {
+			path = mapped
+		}
+		dep := byPath[path]
+		if dep == nil || dep.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(dep.Export)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// CheckFixture type-checks an already-parsed fixture package (the
+// linttest harness) whose imports are deps: `go list -export` at the
+// module root produces the export data, exactly as the real driver does,
+// so fixtures may import the standard library and sgr packages alike.
+func CheckFixture(fset *token.FileSet, path string, files []*ast.File, names []string, deps []string) (*Unit, error) {
+	var byPath map[string]*listPkg
+	if len(deps) > 0 {
+		root, err := moduleRoot()
+		if err != nil {
+			return nil, err
+		}
+		byPath, _, err = goList(root, false, deps)
+		if err != nil {
+			return nil, err
+		}
+	}
+	imp := importerFor(fset, &listPkg{}, byPath)
+	pkg, info, err := typecheck(fset, path, files, imp)
+	if err != nil {
+		return nil, err
+	}
+	return &Unit{PkgPath: path, Fset: fset, Files: files, Filenames: names, Pkg: pkg, TypesInfo: info}, nil
+}
+
+// moduleRoot locates the enclosing module's directory.
+func moduleRoot() (string, error) {
+	cmd := exec.Command("go", "env", "GOMOD")
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// typecheck runs go/types over files with full use/def/selection recording.
+func typecheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

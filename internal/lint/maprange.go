@@ -1,0 +1,570 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapRange flags `range` over a map in determinism-critical code. Go
+// randomizes map iteration order per run, so any map range whose effects
+// depend on visit order leaks nondeterminism straight into pipeline
+// output. Two shapes are recognized as safe and exempted:
+//
+//  1. Order-insensitive bodies — every effect in the loop is one of:
+//     writes to loop-local variables; writes indexed by exactly the range
+//     key (each key visited once, so keyed slots are disjoint); integer
+//     compound accumulation (+ over ints is associative and commutative —
+//     over floats it is not); min/max reductions (`if v > best { best = v }`
+//     — the fold commutes); delete calls; and testing.TB method calls
+//     (t.Errorf per bad key commutes for the pass/fail outcome, and
+//     t.Run subtests are independently named). Early exits
+//     (break/return) are allowed only in effect-free membership scans
+//     returning literals — once the loop can stop early, visit order
+//     decides which effects happen at all.
+//  2. The collect-then-sort idiom — the body only appends to slices that
+//     a later statement of the same block passes to sort/slices sorting.
+//
+// Everything else needs either a restructure or a justified
+// //sgr:nondet-ok.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc: "flag map iteration whose effects can depend on Go's randomized " +
+		"map order; require collect-and-sort or an order-insensitive body",
+	Run: runMapRange,
+}
+
+func runMapRange(pass *Pass) error {
+	for _, f := range pass.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderInsensitiveRange(pass, rs) || sortedCollectRange(pass, rs, stack) {
+				return true
+			}
+			pass.Reportf(rs.For,
+				"range over map %s: iteration order is randomized and this body is order-sensitive; collect-and-sort the keys, restructure into an order-insensitive loop, or justify with //sgr:nondet-ok",
+				types.ExprString(rs.X))
+			return true
+		})
+	}
+	return nil
+}
+
+// rangeKeyObj resolves the key variable of rs, or nil (no key, or blank).
+func rangeKeyObj(pass *Pass, rs *ast.RangeStmt) types.Object {
+	id, ok := rs.Key.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return pass.TypesInfo.ObjectOf(id)
+}
+
+// orderInsensitiveRange reports whether every effect in rs.Body is
+// independent of the order map entries are visited in.
+func orderInsensitiveRange(pass *Pass, rs *ast.RangeStmt) bool {
+	c := &orderChecker{
+		pass:   pass,
+		key:    rangeKeyObj(pass, rs),
+		bodyLo: rs.Body.Pos(),
+		bodyHi: rs.Body.End(),
+	}
+	// Early exits make even commutative accumulation order-dependent (how
+	// much accumulates before the exit depends on visit order), so their
+	// presence restricts the body to effect-free scans.
+	c.strict = hasEarlyExit(rs.Body)
+	return c.stmts(rs.Body.List)
+}
+
+type orderChecker struct {
+	pass   *Pass
+	key    types.Object // the range key variable, if named
+	bodyLo token.Pos
+	bodyHi token.Pos
+	strict bool // body exits early: no effects allowed at all
+}
+
+// local reports whether the expression's root variable is declared inside
+// the loop body — per-iteration state whose writes cannot leak order.
+func (c *orderChecker) local(e ast.Expr) bool {
+	root := rootIdent(e)
+	if root == nil {
+		return false
+	}
+	return declaredWithin(c.pass.TypesInfo.ObjectOf(root), c.bodyLo, c.bodyHi)
+}
+
+// keyIndexed reports whether lvalue e is an index expression whose index
+// is exactly the range key variable: each iteration owns a disjoint slot.
+func (c *orderChecker) keyIndexed(e ast.Expr) bool {
+	if c.key == nil {
+		return false
+	}
+	ix, ok := ast.Unparen(e).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(ix.Index).(*ast.Ident)
+	return ok && c.pass.TypesInfo.ObjectOf(id) == c.key
+}
+
+func (c *orderChecker) stmts(list []ast.Stmt) bool {
+	for _, s := range list {
+		if !c.stmt(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *orderChecker) stmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case nil:
+		return true
+	case *ast.DeclStmt, *ast.EmptyStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.BREAK || s.Tok == token.CONTINUE
+	case *ast.ReturnStmt:
+		// Allowed only for membership scans: `if cond(k) { return true }`.
+		// strict mode has already banned all effects, and literal results
+		// cannot encode which iteration triggered the return.
+		for _, r := range s.Results {
+			if !isPureLiteral(r) {
+				return false
+			}
+		}
+		return true
+	case *ast.BlockStmt:
+		return c.stmts(s.List)
+	case *ast.IfStmt:
+		if !c.strict && c.minMaxReduction(s) {
+			return true
+		}
+		return c.stmt(s.Init) && c.stmt(s.Body) && c.stmt(s.Else)
+	case *ast.ForStmt:
+		return c.stmt(s.Init) && c.stmt(s.Post) && c.stmt(s.Body)
+	case *ast.RangeStmt:
+		// A nested loop's statements are judged by the same rules relative
+		// to the outer map range (nested map ranges are additionally
+		// visited on their own by the inspector).
+		return c.stmt(s.Body)
+	case *ast.SwitchStmt:
+		if !c.stmt(s.Init) {
+			return false
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok && !c.stmts(cc.Body) {
+				return false
+			}
+		}
+		return true
+	case *ast.TypeSwitchStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok && !c.stmts(cc.Body) {
+				return false
+			}
+		}
+		return true
+	case *ast.AssignStmt:
+		if c.strict {
+			return false
+		}
+		if s.Tok == token.DEFINE {
+			return true // defines loop-local state
+		}
+		for _, lhs := range s.Lhs {
+			if !c.assignTarget(lhs, s.Tok) {
+				return false
+			}
+		}
+		return true
+	case *ast.IncDecStmt:
+		if c.strict {
+			return false
+		}
+		return c.accumTarget(s.X)
+	case *ast.ExprStmt:
+		if c.strict {
+			return false
+		}
+		// delete(m, k) has a known-commutative effect, and testing.TB
+		// methods only feed the per-test failure aggregate (the pass/fail
+		// outcome is the same whichever key reports first); anything else
+		// could observe order.
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := c.pass.TypesInfo.ObjectOf(id).(*types.Builtin); ok && b.Name() == "delete" {
+					return true
+				}
+			}
+			if fn := calleeFunc(c.pass.TypesInfo, call); fn != nil && isMethod(fn) && funcPkgPath(fn) == "testing" {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// assignTarget vets one assignment lvalue under order-insensitivity rules.
+func (c *orderChecker) assignTarget(lhs ast.Expr, tok token.Token) bool {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+		return true
+	}
+	if c.local(lhs) || c.keyIndexed(lhs) {
+		return true
+	}
+	if tok == token.ASSIGN {
+		return false // last-writer-wins on shared state observes order
+	}
+	return c.accumTarget(lhs) // compound ops: integers commute, floats don't
+}
+
+// accumTarget vets an accumulation lvalue (x++, x += e, ...): loop-local
+// and key-indexed slots always; shared state only when integer-typed.
+func (c *orderChecker) accumTarget(e ast.Expr) bool {
+	if c.local(e) || c.keyIndexed(e) {
+		return true
+	}
+	t := c.pass.TypesInfo.TypeOf(e)
+	return t != nil && isIntegerType(t)
+}
+
+// minMaxReduction recognizes a running min/max fold:
+//
+//	if expr OP acc { acc = expr }
+//
+// with OP a strict or non-strict inequality and optionally further
+// &&-conjuncts that do not read the accumulator (pure per-iteration
+// filters). Min and max are commutative and associative, so visit order
+// cannot change the final value.
+func (c *orderChecker) minMaxReduction(s *ast.IfStmt) bool {
+	if s.Init != nil || s.Else != nil || len(s.Body.List) != 1 {
+		return false
+	}
+	as, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	acc, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	accObj := c.pass.TypesInfo.ObjectOf(acc)
+	if accObj == nil || mentionsObj(c.pass.TypesInfo, as.Rhs[0], accObj) {
+		return false
+	}
+	rhs := types.ExprString(ast.Unparen(as.Rhs[0]))
+	matched := false
+	for _, conj := range conjuncts(s.Cond) {
+		if !matched && c.comparesToAcc(conj, accObj, rhs) {
+			matched = true
+			continue
+		}
+		if mentionsObj(c.pass.TypesInfo, conj, accObj) {
+			return false
+		}
+	}
+	return matched
+}
+
+// comparesToAcc reports whether conj is `expr OP acc` or `acc OP expr`
+// where expr prints as rhs and OP is an inequality.
+func (c *orderChecker) comparesToAcc(conj ast.Expr, accObj types.Object, rhs string) bool {
+	b, ok := ast.Unparen(conj).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch b.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	x, y := ast.Unparen(b.X), ast.Unparen(b.Y)
+	if id, ok := x.(*ast.Ident); ok && c.pass.TypesInfo.ObjectOf(id) == accObj {
+		return types.ExprString(y) == rhs
+	}
+	if id, ok := y.(*ast.Ident); ok && c.pass.TypesInfo.ObjectOf(id) == accObj {
+		return types.ExprString(x) == rhs
+	}
+	return false
+}
+
+// conjuncts splits e on && into its top-level conjuncts.
+func conjuncts(e ast.Expr) []ast.Expr {
+	if b, ok := ast.Unparen(e).(*ast.BinaryExpr); ok && b.Op == token.LAND {
+		return append(conjuncts(b.X), conjuncts(b.Y)...)
+	}
+	return []ast.Expr{e}
+}
+
+// mentionsObj reports whether any identifier in e resolves to obj.
+func mentionsObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasEarlyExit reports whether body can leave the map range before
+// visiting every entry: a return, a goto, a break targeting the range
+// (depth counts the breakable constructs in between), or any labeled
+// branch (conservatively — the label may name the range).
+func hasEarlyExit(body *ast.BlockStmt) bool {
+	var exits func(s ast.Stmt, depth int) bool
+	exits = func(s ast.Stmt, depth int) bool {
+		switch s := s.(type) {
+		case nil:
+			return false
+		case *ast.ReturnStmt:
+			return true
+		case *ast.BranchStmt:
+			if s.Label != nil || s.Tok == token.GOTO {
+				return true
+			}
+			return s.Tok == token.BREAK && depth == 0
+		case *ast.BlockStmt:
+			for _, t := range s.List {
+				if exits(t, depth) {
+					return true
+				}
+			}
+		case *ast.IfStmt:
+			return exits(s.Init, depth) || exits(s.Body, depth) || exits(s.Else, depth)
+		case *ast.ForStmt:
+			return exits(s.Init, depth) || exits(s.Body, depth+1)
+		case *ast.RangeStmt:
+			return exits(s.Body, depth+1)
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			var clauses []ast.Stmt
+			switch sw := s.(type) {
+			case *ast.SwitchStmt:
+				clauses = sw.Body.List
+			case *ast.TypeSwitchStmt:
+				clauses = sw.Body.List
+			case *ast.SelectStmt:
+				clauses = sw.Body.List
+			}
+			for _, cl := range clauses {
+				if exits(cl, depth+1) {
+					return true
+				}
+			}
+		case *ast.CaseClause:
+			for _, t := range s.Body {
+				if exits(t, depth) {
+					return true
+				}
+			}
+		case *ast.CommClause:
+			for _, t := range s.Body {
+				if exits(t, depth) {
+					return true
+				}
+			}
+		case *ast.LabeledStmt:
+			return exits(s.Stmt, depth)
+		}
+		return false
+	}
+	return exits(body, 0)
+}
+
+// isPureLiteral reports whether e is a basic literal or one of the
+// predeclared constants true/false/nil — a value that cannot identify the
+// iteration that produced it.
+func isPureLiteral(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		return e.Name == "true" || e.Name == "false" || e.Name == "nil"
+	}
+	return false
+}
+
+// sortedCollectRange recognizes the canonical deterministic idiom:
+//
+//	keys := make([]K, 0, len(m))
+//	for k := range m { keys = append(keys, k) }
+//	sort.Ints(keys)            // or any sort./slices. sorting call
+//
+// The body must consist solely of appends (possibly behind ifs) to outer
+// slices, and every appended-to slice must be passed to a sorting function
+// in a later statement of the block enclosing the range.
+func sortedCollectRange(pass *Pass, rs *ast.RangeStmt, stack []ast.Node) bool {
+	targets := appendOnlyTargets(pass, rs.Body.List)
+	if len(targets) == 0 {
+		return false
+	}
+	after := stmtsAfter(rs, stack)
+	if after == nil {
+		return false
+	}
+	for obj := range targets {
+		if !sortedLater(pass, after, obj) {
+			return false
+		}
+	}
+	return true
+}
+
+// appendOnlyTargets returns the objects of outer slices the body appends
+// to, or nil if any statement is not an append (ifs recurse).
+func appendOnlyTargets(pass *Pass, list []ast.Stmt) map[types.Object]bool {
+	targets := make(map[types.Object]bool)
+	var collect func([]ast.Stmt) bool
+	collect = func(list []ast.Stmt) bool {
+		for _, s := range list {
+			switch s := s.(type) {
+			case *ast.IfStmt:
+				if s.Init != nil {
+					// A short-var-decl init (`if _, ok := seen[k]; !ok`)
+					// only defines if-local state.
+					as, ok := s.Init.(*ast.AssignStmt)
+					if !ok || as.Tok != token.DEFINE {
+						return false
+					}
+				}
+				if s.Else != nil || !collect(s.Body.List) {
+					return false
+				}
+			case *ast.AssignStmt:
+				obj := appendTarget(pass, s)
+				if obj == nil {
+					return false
+				}
+				targets[obj] = true
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if !collect(list) || len(targets) == 0 {
+		return nil
+	}
+	return targets
+}
+
+// appendTarget matches `x = append(x, ...)` and returns x's object.
+func appendTarget(pass *Pass, s *ast.AssignStmt) types.Object {
+	if s.Tok != token.ASSIGN || len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return nil
+	}
+	lhs, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if b, ok := pass.TypesInfo.ObjectOf(fn).(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	first, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.ObjectOf(lhs)
+	if obj == nil || pass.TypesInfo.ObjectOf(first) != obj {
+		return nil
+	}
+	return obj
+}
+
+// stmtsAfter returns the statements following rs in its innermost
+// enclosing statement list.
+func stmtsAfter(rs *ast.RangeStmt, stack []ast.Node) []ast.Stmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var list []ast.Stmt
+		switch b := stack[i].(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			continue
+		}
+		for j, s := range list {
+			if s == ast.Stmt(rs) {
+				return list[j+1:]
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// sortedLater reports whether any of the statements contains a sorting
+// call over obj.
+func sortedLater(pass *Pass, stmts []ast.Stmt, obj types.Object) bool {
+	for _, s := range stmts {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if !isSortFunc(fn) {
+				return true
+			}
+			for _, arg := range call.Args {
+				sees := false
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+						sees = true
+					}
+					return !sees
+				})
+				if sees {
+					found = true
+					break
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isSortFunc recognizes the stdlib sorting entry points.
+func isSortFunc(fn *types.Func) bool {
+	switch funcPkgPath(fn) {
+	case "sort":
+		switch fn.Name() {
+		case "Ints", "Strings", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			return true
+		}
+	case "slices":
+		return strings.HasPrefix(fn.Name(), "Sort")
+	}
+	return false
+}

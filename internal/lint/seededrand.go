@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// SeededRand enforces the repository's randomness contract: every stream
+// is an explicitly seeded generator — rand.New(rand.NewPCG(s1, s2)) or a
+// sampling.SubStream derivation — never the process-global source and
+// never a wall-clock-derived seed. It flags:
+//
+//   - calls to math/rand/v2 (and legacy math/rand) package-level functions
+//     that draw from the global, implicitly seeded generator (rand.IntN,
+//     rand.Float64, rand.Shuffle, ...);
+//   - importing legacy math/rand from non-test code at all (its API
+//     invites global-source use; new code takes math/rand/v2);
+//   - any time-derived seed: a time.* call anywhere inside the arguments
+//     of a source constructor (rand.NewPCG, rand.NewChaCha8, rand.New,
+//     legacy rand.NewSource) or of sampling.SubStream/SubSeeds.
+//
+// Methods on a *rand.Rand value are fine — the construction site is where
+// the contract is checked.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc: "flag implicitly seeded global math/rand use and time-derived " +
+		"seeds; randomness must come from explicitly seeded PCG streams",
+	Run: runSeededRand,
+}
+
+const (
+	randV1 = "math/rand"
+	randV2 = "math/rand/v2"
+)
+
+// randConstructors are the package-level functions of math/rand{,/v2} that
+// build explicitly seeded values rather than drawing from the global
+// source. Everything else at package level is (or feeds) the global
+// generator.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewSource":  true, // legacy math/rand
+	"NewZipf":    true,
+}
+
+// isSeedSink reports whether fn's arguments are RNG seed material that
+// must not involve the wall clock. rand.New and rand.NewZipf take sources,
+// not seeds — the constructor inside them is checked on its own.
+func isSeedSink(fn *types.Func) bool {
+	switch funcPkgPath(fn) {
+	case randV1, randV2:
+		switch fn.Name() {
+		case "NewPCG", "NewChaCha8", "NewSource":
+			return true
+		}
+	case "sgr/internal/sampling":
+		return fn.Name() == "SubStream" || fn.Name() == "SubSeeds"
+	}
+	return false
+}
+
+func runSeededRand(pass *Pass) error {
+	for _, f := range pass.Files {
+		file := pass.Fset.Position(f.Pos()).Filename
+		if !strings.HasSuffix(file, "_test.go") {
+			for _, imp := range f.Imports {
+				if path, _ := strconv.Unquote(imp.Path.Value); path == randV1 {
+					pass.Reportf(imp.Pos(),
+						"legacy math/rand import in non-test code: use math/rand/v2 with an explicitly seeded rand.NewPCG (or sampling.SubStream)")
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			if pkg := funcPkgPath(fn); (pkg == randV1 || pkg == randV2) && !isMethod(fn) && !randConstructors[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"rand.%s draws from the process-global implicitly seeded generator: construct an explicit stream with rand.New(rand.NewPCG(s1, s2)) or sampling.SubStream", fn.Name())
+			}
+			if isSeedSink(fn) {
+				for _, arg := range call.Args {
+					if tc := timeCallIn(pass.TypesInfo, arg); tc != nil {
+						pass.Reportf(tc.Pos(),
+							"time-derived RNG seed (argument of %s.%s): a wall-clock seed makes every run a different stream; thread an explicit seed instead", fn.Pkg().Name(), fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// timeCallIn returns a call into package time found anywhere inside e.
+func timeCallIn(info *types.Info, e ast.Expr) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(info, call); funcPkgPath(fn) == "time" {
+			found = call
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}

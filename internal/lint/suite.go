@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+	"sort"
+)
+
+// Analyzers returns the full sgrlint suite in rendering order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{MapRange, SeededRand, WallClock, FloatOrder, Direct}
+}
+
+// Finding is a rendered diagnostic: a resolved position plus the analyzer
+// that produced it.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return f.Position.String() + ": " + f.Message + " [" + f.Analyzer + "]"
+}
+
+// directiveUse tracks whether a directive suppressed anything this run.
+type directiveUse struct {
+	d    Directive
+	used bool
+}
+
+// Run executes analyzers over units, applies //sgr:nondet-ok suppression,
+// and flags stale directives. With scoped=true each analyzer sees only the
+// files the scope tables put on its path (the cmd/sgrlint configuration);
+// unscoped runs see everything (the fixture-test configuration).
+//
+// Suppression contract: a well-formed directive at line L hides non-direct
+// findings at L and L+1 in the same file; a directive that hides nothing
+// is reported as stale. Malformed directives (no reason) hide nothing and
+// are findings themselves — so the lint gate fails both when a fix is
+// deleted and when a justification is.
+func Run(units []*Unit, analyzers []*Analyzer, scoped bool) ([]Finding, error) {
+	var (
+		raw        []Finding
+		directives = make(map[string][]*directiveUse) // file -> directives
+		seenFile   = make(map[string]bool)
+	)
+	for _, u := range units {
+		for i, f := range u.Files {
+			name := u.Filenames[i]
+			if seenFile[name] {
+				continue
+			}
+			seenFile[name] = true
+			valid, _ := parseDirectives(u.Fset, f)
+			for _, d := range valid {
+				directives[d.File] = append(directives[d.File], &directiveUse{d: d})
+			}
+		}
+	}
+	for _, u := range units {
+		for _, a := range analyzers {
+			files := u.Files
+			if scoped {
+				files = nil
+				for i, f := range u.Files {
+					if inScope(a.Name, u.PkgPath, filepath.Base(u.Filenames[i])) {
+						files = append(files, f)
+					}
+				}
+			}
+			if len(files) == 0 {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      u.Fset,
+				Files:     files,
+				Pkg:       u.Pkg,
+				TypesInfo: u.TypesInfo,
+			}
+			name := a.Name
+			pass.Report = func(d Diagnostic) {
+				raw = append(raw, Finding{
+					Position: u.Fset.Position(d.Pos),
+					Analyzer: name,
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	var out []Finding
+	for _, f := range raw {
+		if f.Analyzer != Direct.Name {
+			if d := suppressing(directives[f.Position.Filename], f.Position.Line); d != nil {
+				d.used = true
+				continue
+			}
+		}
+		out = append(out, f)
+	}
+	for _, ds := range directives {
+		for _, du := range ds {
+			if !du.used {
+				out = append(out, Finding{
+					Position: token.Position{Filename: du.d.File, Line: du.d.Line, Column: 1},
+					Analyzer: Direct.Name,
+					Message:  "stale //sgr:nondet-ok (suppresses no finding): delete it, or it will justify the next regression instead of the code it was written for",
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return dedup(out), nil
+}
+
+// suppressing returns the directive covering a finding at line, if any: a
+// directive suppresses its own line and the next (end-of-line and
+// own-line-above placement).
+func suppressing(ds []*directiveUse, line int) *directiveUse {
+	for _, du := range ds {
+		if du.d.Line == line || du.d.Line == line-1 {
+			return du
+		}
+	}
+	return nil
+}
+
+// dedup removes identical findings (a file shared by a package and its
+// external-test unit would otherwise report twice).
+func dedup(fs []Finding) []Finding {
+	var out []Finding
+	for i, f := range fs {
+		if i > 0 && f == fs[i-1] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

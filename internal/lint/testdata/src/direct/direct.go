@@ -1,0 +1,40 @@
+// Fixture for the direct analyzer: //sgr:nondet-ok directives need a
+// reason, unknown verbs are rejected, and a directive that suppresses
+// nothing is stale. The wallclock analyzer runs alongside to provide
+// findings for the suppression cases.
+package direct
+
+import "time"
+
+// A justified directive suppressing a real finding: no diagnostics.
+func suppressed() int64 {
+	//sgr:nondet-ok boot jitter is intentional; value feeds a local log only
+	return time.Now().UnixNano()
+}
+
+// End-of-line placement works too.
+func suppressedInline() time.Time {
+	return time.Now() //sgr:nondet-ok fixture demo of same-line suppression
+}
+
+// A directive without a reason is malformed — and it does NOT suppress,
+// so the underlying finding surfaces as well.
+func unjustified() time.Time {
+	//sgr:nondet-ok
+	// want "needs a reason"
+	return time.Now() // want "time.Now in deterministic pipeline code"
+}
+
+// Unknown verbs are rejected.
+func unknownVerb() int {
+	//sgr:nondet-okay close but no
+	// want "unknown //sgr: directive"
+	return 7
+}
+
+// A directive with nothing to suppress is stale.
+func stale() int {
+	//sgr:nondet-ok this code was fixed long ago
+	// want "stale //sgr:nondet-ok"
+	return 1 + 2
+}

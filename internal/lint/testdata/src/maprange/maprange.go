@@ -1,0 +1,239 @@
+// Fixture for the maprange analyzer: map iteration is flagged unless the
+// body is order-insensitive or feeds the collect-then-sort idiom.
+package maprange
+
+import (
+	"sort"
+	"testing"
+)
+
+// Order leaks straight into a slice: flagged.
+func collectValues(m map[int]float64) []float64 {
+	var out []float64
+	for _, v := range m { // want "range over map m"
+		out = append(out, v)
+	}
+	return out
+}
+
+// Float accumulation order changes the sum bits: flagged.
+func sumValues(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want "range over map m"
+		s += v
+	}
+	return s
+}
+
+// Last-writer-wins on shared state observes order: flagged.
+func lastValue(m map[int]string) string {
+	last := ""
+	for _, v := range m { // want "range over map m"
+		last = v
+	}
+	return last
+}
+
+// First key returned depends on order: flagged.
+func anyKey(m map[int]int) int {
+	for k := range m { // want "range over map m"
+		return k
+	}
+	return -1
+}
+
+// The canonical collect-then-sort idiom: exempt.
+func sortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Collect-then-sort through slices.Sort-style helpers also counts.
+func sortedValues(m map[int]float64) []float64 {
+	vals := make([]float64, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	return vals
+}
+
+// Collected but never sorted: the order leaks, flagged.
+func unsortedKeys(m map[int]int) []int {
+	var keys []int
+	for k := range m { // want "range over map m"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Order-insensitive body: writes keyed by the range key (disjoint slots)
+// and integer accumulation (commutative): exempt.
+func histogram(m map[int]int) (map[int]int, int) {
+	out := make(map[int]int, len(m))
+	total := 0
+	for k, v := range m {
+		out[k] = v * 2
+		total += v
+	}
+	return out, total
+}
+
+// Nested map ranges judged independently: the inner loop writes slots
+// keyed by its own key (exempt), but across outer iterations the same k2
+// can be rewritten in either order, so the outer loop is flagged.
+func nestedLeak(m map[int]map[int]int, out map[int]int) {
+	for _, inner := range m { // want "range over map m"
+		for k2, v2 := range inner {
+			out[k2] = v2
+		}
+	}
+}
+
+// Effect-free membership scan returning literals: exempt even though it
+// exits early.
+func containsValue(m map[string]bool, needle string) bool {
+	for k := range m {
+		if k == needle {
+			return true
+		}
+	}
+	return false
+}
+
+// Early exit combined with accumulation: how much accumulates before the
+// break depends on visit order, flagged.
+func sumSome(m map[int]int) int {
+	n := 0
+	for _, v := range m { // want "range over map m"
+		n += v
+		if n > 100 {
+			break
+		}
+	}
+	return n
+}
+
+// delete is commutative across a full sweep: exempt.
+func prune(m map[int]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// A justified suppression is honored (and not stale).
+func suppressedCollect(m map[int]string) []string {
+	var out []string
+	//sgr:nondet-ok demo fixture: consumer deduplicates, order immaterial
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Local per-iteration state never leaks order: exempt.
+func localOnly(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		n := 0
+		for _, v := range vs {
+			n += v
+		}
+		total += n
+	}
+	return total
+}
+
+// A running max is a commutative fold: exempt.
+func maxKey(m map[int]int) int {
+	best := -1
+	for k := range m {
+		if k > best {
+			best = k
+		}
+	}
+	return best
+}
+
+// Filter conjuncts that don't read the accumulator keep the fold
+// commutative: exempt.
+func maxPositive(m map[int]float64) int {
+	best := 0
+	for k, p := range m {
+		if p > 0 && k > best {
+			best = k
+		}
+	}
+	return best
+}
+
+// Not a min/max fold — the guard compares against an offset of the
+// accumulator, so the result depends on visit order: flagged.
+func almostMax(m map[int]int) int {
+	best := 0
+	for k := range m { // want "range over map m"
+		if k > best-10 {
+			best = k
+		}
+	}
+	return best
+}
+
+// Collect-then-sort with an if whose init only defines if-local state:
+// still the canonical idiom, exempt.
+func sortedNewKeys(m map[int]int, seen map[int]bool) []int {
+	var keys []int
+	for k := range m {
+		if _, ok := seen[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Per-key assertions: the pass/fail outcome is the same whichever key
+// reports first, so testing.TB calls are order-insensitive effects.
+func assertLoop(t *testing.T, got, want map[string]int) {
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("key %s: got %d, want %d", k, got[k], w)
+		}
+	}
+}
+
+// Table-driven subtests from a map: subtests are independently named.
+func tableLoop(t *testing.T, cases map[string]int) {
+	for name, n := range cases {
+		t.Run(name, func(t *testing.T) {
+			if n < 0 {
+				t.Fatal("negative")
+			}
+		})
+	}
+}
+
+// But an early exit still decides WHICH assertions fire: flagged.
+func assertUntilBad(t *testing.T, got map[string]int) {
+	for k, v := range got { // want "range over map got"
+		if v < 0 {
+			break
+		}
+		t.Logf("ok: %s", k)
+	}
+}
+
+// Ranging a slice is always fine.
+func sliceRange(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

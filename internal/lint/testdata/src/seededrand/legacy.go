@@ -1,0 +1,16 @@
+package seededrand
+
+import mrand "math/rand" // want "legacy math/rand import in non-test code"
+
+// Even a seeded legacy source is flagged at the import in non-test code:
+// new code takes math/rand/v2. (Seeded legacy use stays allowed in _test.go
+// files, where frozen reference engines depend on the v1 stream.)
+func legacySeeded() int {
+	r := mrand.New(mrand.NewSource(42))
+	return r.Intn(10)
+}
+
+// The legacy global source is doubly wrong: flagged as a global draw too.
+func legacyGlobal() int {
+	return mrand.Intn(10) // want "rand.Intn draws from the process-global"
+}

@@ -1,0 +1,44 @@
+// Fixture for the seededrand analyzer: randomness must come from
+// explicitly seeded streams, never the global generator or the clock.
+package seededrand
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"sgr/internal/sampling"
+)
+
+// Global convenience functions draw from the implicitly seeded process
+// generator: flagged.
+func globalDraws(xs []int) int {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "rand.Shuffle draws from the process-global"
+	return rand.IntN(10)                                                  // want "rand.IntN draws from the process-global"
+}
+
+// Explicitly seeded PCG stream: the required shape, exempt.
+func seeded(seed uint64) float64 {
+	r := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	return r.Float64()
+}
+
+// Sub-stream derivation is the other blessed constructor: exempt.
+func derived(seed1, seed2, idx uint64) int {
+	return sampling.SubStream(seed1, seed2, idx).IntN(100)
+}
+
+// A wall-clock seed makes every run a different stream: flagged.
+func timeSeeded() *rand.Rand {
+	return rand.New(rand.NewPCG(uint64(time.Now().UnixNano()), 0)) // want "time-derived RNG seed"
+}
+
+// Clock smuggled into a sub-stream index: flagged.
+func timeDerivedSubStream(seed uint64) *rand.Rand {
+	return sampling.SubStream(seed, uint64(time.Now().Unix()), 0) // want "time-derived RNG seed"
+}
+
+// Methods on an explicit *rand.Rand are always fine — the construction
+// site is where the contract was checked.
+func methods(r *rand.Rand) (int, float64) {
+	return r.IntN(7), r.NormFloat64()
+}

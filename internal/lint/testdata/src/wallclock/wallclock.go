@@ -1,0 +1,29 @@
+// Fixture for the wallclock analyzer: pipeline code may not read the
+// clock — its output must be a function of the seed alone.
+package wallclock
+
+import "time"
+
+// Reading and differencing the clock in pipeline code: flagged.
+func timedWork(x int) (int, time.Duration) {
+	start := time.Now() // want "time.Now in deterministic pipeline code"
+	y := x * 2
+	return y, time.Since(start) // want "time.Since in deterministic pipeline code"
+}
+
+func deadlineWait(t time.Time) time.Duration {
+	return time.Until(t) // want "time.Until in deterministic pipeline code"
+}
+
+// Pure time arithmetic — conversions, constants, methods on values the
+// caller supplied — never reads the clock: exempt.
+func pureTimeMath(d time.Duration, t time.Time) (time.Duration, bool) {
+	return d + 5*time.Second + time.Duration(3), t.After(t.Add(d))
+}
+
+// Timing that demonstrably never reaches output bytes rides on a
+// justified directive.
+func annotatedTiming() int64 {
+	//sgr:nondet-ok duration lands in a local audit log, never in output bytes
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,38 @@
+package lint
+
+import "go/ast"
+
+// WallClock flags wall-clock readings — time.Now, time.Since, time.Until —
+// in code whose output must be a pure function of the seed: the pipeline
+// phases, their storage engines, and the content-address computation. A
+// clock reading there either leaks into output bytes (breaking
+// byte-identity) or into a cache key (silently re-keying every stored
+// result). Timing for metrics belongs in the daemons and the harness,
+// which the scope tables leave out; a reading that genuinely only feeds a
+// duration report carries a //sgr:nondet-ok saying so.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "flag time.Now/Since/Until in deterministic pipeline code whose " +
+		"output must be a function of the seed alone",
+	Run: runWallClock,
+}
+
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runWallClock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if funcPkgPath(fn) == "time" && !isMethod(fn) && wallClockFuncs[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"time.%s in deterministic pipeline code: output must be a function of the seed alone; move timing to the caller or justify with //sgr:nondet-ok", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -73,6 +73,7 @@ func naiveBetweenness(g *graph.Graph) []float64 {
 					continue
 				}
 				var paths float64
+				//sgr:nondet-ok reference engine: sigma's float-order tail is absorbed by the cross-check tolerance
 				for p, m := range mult[t] {
 					if dist[s][p] == l-1 {
 						paths += sigma[s][p] * float64(m)

@@ -61,6 +61,7 @@ func refTriangleCounts(g *graph.Graph) []int64 {
 	for u := 0; u < g.N(); u++ {
 		mm := g.NeighborMultiplicities(u)
 		keys := make([]int, 0, len(mm))
+		//sgr:nondet-ok keys only feed the unordered-pair probe below, whose integer adds commute
 		for v := range mm {
 			keys = append(keys, v)
 		}
@@ -339,6 +340,7 @@ func refCoreNumbers(g *graph.Graph) []int {
 	for u := 0; u < n; u++ {
 		mm := g.NeighborMultiplicities(u)
 		row := make([]int, 0, len(mm))
+		//sgr:nondet-ok reference engine: row order feeds integer counts and tolerance-compared float sums only
 		for v := range mm {
 			row = append(row, v)
 		}
