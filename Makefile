@@ -10,7 +10,7 @@ BENCHTIME ?= 5x
 # anything (queries/s especially).
 ORACLE_BENCHTIME ?= 2000x
 
-.PHONY: build test race bench bench-json bench-gate bench-oracle-json bench-props-json bench-restored-json oracle-e2e restored-e2e lint fuzz ci
+.PHONY: build test race bench bench-json bench-gate bench-oracle-json bench-props-json bench-restored-json oracle-e2e restored-e2e trace-demo lint fuzz ci
 
 build:
 	$(GO) build ./...
@@ -88,6 +88,12 @@ oracle-e2e:
 # counters, round-trip the binary codec through gengraph.
 restored-e2e:
 	bash scripts/restored_e2e.sh
+
+# Pipeline flame chart in one command: generate, crawl, restore with
+# -trace, and leave a Chrome trace_event file (default trace.json, override
+# with TRACE_OUT=...) to load at chrome://tracing or ui.perfetto.dev.
+trace-demo:
+	bash scripts/trace_demo.sh
 
 # Mirrors the CI lint job: vet, gofmt, the sgrlint determinism suite
 # (test files included), and govulncheck when installed (CI always runs

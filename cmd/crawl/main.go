@@ -40,6 +40,7 @@ func main() {
 		seedNode = flag.Int("seed-node", -1, "start node id (default: drawn from the RNG)")
 		out      = flag.String("out", "", "output subgraph edge list (default stdout)")
 		saveRaw  = flag.String("save-crawl", "", "also save the raw sampling list as JSON (feed to restore -crawl)")
+		stats    = flag.Bool("stats", false, "print oracle transport statistics to stderr after the crawl (with -url)")
 	)
 	flag.Parse()
 	if (*path == "") == (*url == "") {
@@ -124,6 +125,13 @@ func main() {
 	if client != nil {
 		fmt.Fprintf(os.Stderr, "crawl: oracle: %d nodes fetched over HTTP in %d requests (%d replayed from journal)\n",
 			client.NodesFetched(), client.Requests(), int64(c.NumQueried())-client.NodesFetched())
+		if *stats {
+			st := client.Stats()
+			fmt.Fprintf(os.Stderr, "crawl: oracle stats: queries=%d p50=%v p99=%v retries=%d rate_limited=%d backoff=%v\n",
+				st.Queries, st.QueryP50, st.QueryP99, st.Retries, st.RateLimited, st.Backoff)
+			fmt.Fprintf(os.Stderr, "crawl: oracle stats: cache_hits=%d prefetch_batches=%d prefetch_nodes=%d\n",
+				st.CacheHits, st.PrefetchBatches, st.PrefetchNodes)
+		}
 		if *journal != "" && len(c.Walk) > 0 {
 			if err := client.RecordWalk(c.Walk); err != nil {
 				log.Fatal(err)

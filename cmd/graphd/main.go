@@ -17,6 +17,7 @@ import (
 	"log"
 	"math/rand/v2"
 	"net"
+	"net/http"
 	"strconv"
 	"strings"
 
@@ -24,6 +25,7 @@ import (
 	"sgr/internal/gen"
 	"sgr/internal/graph"
 	"sgr/internal/oracle"
+	"sgr/internal/prof"
 )
 
 func main() {
@@ -49,6 +51,8 @@ func main() {
 		private         = flag.String("private", "", "comma-separated node ids served as private")
 		privateFraction = flag.Float64("private-fraction", 0, "additionally mark this fraction of nodes private")
 		privateSeed     = flag.Uint64("private-seed", 1, "seed for -private-fraction selection")
+
+		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (live-profiling opt-in)")
 	)
 	flag.Parse()
 	if (*path == "") == (*dataset == "") {
@@ -99,7 +103,14 @@ func main() {
 	}
 	log.Printf("serving graph n=%d m=%d (%d private nodes) on http://%s", g.N(), g.M(), len(priv), ln.Addr())
 
-	if err := daemon.Serve(ln, srv.Handler(), log.Printf); err != nil {
+	handler := srv.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		prof.Mount(mux)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	if err := daemon.Serve(ln, handler, log.Printf); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("served %d neighbor queries (%d rate-limited, %d injected faults, %d clients)",

@@ -13,11 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"sgr/internal/core"
 	"sgr/internal/gen"
 	"sgr/internal/graph"
 	"sgr/internal/metrics"
+	"sgr/internal/obs"
 	"sgr/internal/oracle"
 	"sgr/internal/parallel"
 	"sgr/internal/prof"
@@ -45,7 +47,8 @@ func main() {
 			"worker bound for the property-comparison loops (deterministic for a fixed value)")
 		rewireWorkers = flag.Int("rewire-workers", parallel.DefaultWorkers(),
 			"worker bound for the phase-4 rewiring propose loop (output is byte-identical at any value)")
-		pf = prof.AddFlags()
+		traceOut = flag.String("trace", "", "write the pipeline timeline here in Chrome trace_event JSON (chrome://tracing, ui.perfetto.dev)")
+		pf       = prof.AddFlags()
 	)
 	flag.Parse()
 
@@ -115,7 +118,14 @@ func main() {
 	fmt.Printf("random walk: %d distinct queried nodes, %d steps\n",
 		crawl.NumQueried(), len(crawl.Walk))
 
-	opts := core.Options{RC: *rc, RewireWorkers: *rewireWorkers, Rand: r}
+	// The trace changes nothing about the restoration: spans read the
+	// monotonic clock only, so the output graph is byte-identical with or
+	// without -trace.
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace("restore")
+	}
+	opts := core.Options{RC: *rc, RewireWorkers: *rewireWorkers, Trace: tr, Rand: r}
 	var res *core.Result
 	switch *method {
 	case "proposed":
@@ -133,6 +143,20 @@ func main() {
 		res.RewireStats.Accepted, res.RewireStats.Attempts)
 	fmt.Printf("generation time: total %.3fs, rewiring %.3fs\n",
 		res.TotalTime.Seconds(), res.RewireTime.Seconds())
+	if tr != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteChrome(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (trace)\n", *traceOut)
+	}
 
 	if *out != "" {
 		if err := graph.SaveEdgeList(*out, res.Graph); err != nil {

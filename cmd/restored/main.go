@@ -19,9 +19,11 @@ import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
 
 	"sgr/internal/daemon"
 	"sgr/internal/parallel"
+	"sgr/internal/prof"
 	"sgr/internal/restored"
 )
 
@@ -36,6 +38,7 @@ func main() {
 		cacheDir = flag.String("cache-dir", "", "persist the content-addressed result cache here")
 		propsW   = flag.Int("props-workers", 1, "worker bound for /props property computation (fixed value keeps results deterministic)")
 		rewireW  = flag.Int("rewire-workers", 1, "per-job worker bound for phase-4 rewiring (output is byte-identical at any value)")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (live-profiling opt-in)")
 	)
 	flag.Parse()
 
@@ -63,11 +66,18 @@ func main() {
 	log.Printf("serving restoration jobs on http://%s (%d workers, queue %d, cache %s)",
 		ln.Addr(), *workers, *queue, cacheDirName(*cacheDir))
 
-	if err := daemon.Serve(ln, restored.NewServer(svc).Handler(), log.Printf); err != nil {
+	handler := restored.NewServer(svc).Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		prof.Mount(mux)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	if err := daemon.Serve(ln, handler, log.Printf); err != nil {
 		log.Fatal(err)
 	}
 	svc.Close()
-	for _, m := range svc.Metrics() {
+	for _, m := range svc.Registry().Snapshot() {
 		log.Printf("%s %d", m.Name, m.Value)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"sgr/internal/dkseries"
 	"sgr/internal/estimate"
 	"sgr/internal/graph"
+	"sgr/internal/obs"
 	"sgr/internal/sampling"
 )
 
@@ -28,6 +29,13 @@ type Options struct {
 	// wall clock only — which is why the restored daemon may exclude it
 	// from its job content address.
 	RewireWorkers int
+	// Trace, when set, receives one span per pipeline phase (estimate,
+	// subgraph, phase1_degree_vector, phase2_jdm, phase3_construct,
+	// phase4_rewire) plus the rewiring engine's aggregate propose/commit
+	// round timers. Observability only: spans read the monotonic clock and
+	// nothing else, so the restored graph is byte-identical with and
+	// without one — the same wall-clock-only contract as RewireWorkers.
+	Trace *obs.Trace
 	// Rand is the random source; required.
 	Rand *rand.Rand
 }
@@ -155,33 +163,41 @@ func runWith(c *sampling.Crawl, est *estimate.Estimates, opts Options, useSubgra
 	}
 	start := time.Now() //sgr:nondet-ok timing metadata for Result.TotalTime; never feeds graph bytes or the result key
 	if est == nil {
+		endSpan := opts.Trace.Start("estimate")
 		w, err := estimate.NewWalk(c)
 		if err != nil {
 			return nil, err
 		}
 		est = estimate.All(w)
+		endSpan()
 	}
 
 	var sub *sampling.Subgraph
 	if useSubgraph {
+		endSpan := opts.Trace.Start("subgraph")
 		sub = sampling.BuildSubgraph(c)
+		endSpan()
 	}
 
 	// Phase 1: target degree vector.
+	endSpan := opts.Trace.Start("phase1_degree_vector")
 	dvs, targetDeg, err := buildTargetDegreeVector(est, sub, opts.Rand)
 	if err != nil {
 		return nil, err
 	}
+	endSpan()
 
 	// Phase 2: target joint degree matrix.
 	var subGraph *graph.Graph
 	if sub != nil {
 		subGraph = sub.Graph
 	}
+	endSpan = opts.Trace.Start("phase2_jdm")
 	jdm, err := buildTargetJDM(est, dvs.dv, subGraph, targetDeg, opts.Rand)
 	if err != nil {
 		return nil, err
 	}
+	endSpan()
 
 	// Phase 3: add nodes and edges to the subgraph (Algorithm 5).
 	base := graph.New(0)
@@ -190,10 +206,12 @@ func runWith(c *sampling.Crawl, est *estimate.Estimates, opts Options, useSubgra
 		base = sub.Graph
 		baseTarget = targetDeg
 	}
+	endSpan = opts.Trace.Start("phase3_construct")
 	built, err := dkseries.Build(base, baseTarget, dvs.dv, jdm, opts.Rand)
 	if err != nil {
 		return nil, err
 	}
+	endSpan()
 
 	res := &Result{
 		TargetDV:  dvs.dv,
@@ -209,6 +227,7 @@ func runWith(c *sampling.Crawl, est *estimate.Estimates, opts Options, useSubgra
 		res.Graph = built.Graph
 	} else {
 		rwStart := time.Now() //sgr:nondet-ok timing metadata for Result.RewireTime; never feeds graph bytes or the result key
+		endSpan = opts.Trace.Start("phase4_rewire")
 		var fixed []graph.Edge
 		if sub != nil {
 			fixed = sub.Graph.Edges()
@@ -226,9 +245,11 @@ func runWith(c *sampling.Crawl, est *estimate.Estimates, opts Options, useSubgra
 			Seed2:            seed2,
 			ForbidDegenerate: opts.ForbidDegenerate,
 			Workers:          opts.RewireWorkers,
+			Trace:            opts.Trace,
 		})
 		res.Graph = g
 		res.RewireStats = stats
+		endSpan()
 		res.RewireTime = time.Since(rwStart) //sgr:nondet-ok timing metadata; never feeds graph bytes or the result key
 	}
 	res.TotalTime = time.Since(start) //sgr:nondet-ok timing metadata; never feeds graph bytes or the result key

@@ -9,6 +9,7 @@ import (
 	"sgr/internal/estimate"
 	"sgr/internal/gen"
 	"sgr/internal/graph"
+	"sgr/internal/obs"
 	"sgr/internal/sampling"
 )
 
@@ -163,6 +164,64 @@ func TestRestoreDeterministic(t *testing.T) {
 		if ea[i] != eb[i] {
 			t.Fatalf("same seed, different edge %d", i)
 		}
+	}
+}
+
+// TestRestoreTraceZeroNondeterminism is the observability acceptance gate
+// at the pipeline layer: attaching a Trace changes not one output byte, and
+// the captured spans are ordered phase records covering the run.
+func TestRestoreTraceZeroNondeterminism(t *testing.T) {
+	g := testOriginal(t, 17)
+	c := crawlOn(t, g, 0.06, 18)
+	plain, err := Restore(c, Options{RC: 5, Rand: rng(19)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace("restore-test")
+	traced, err := Restore(c, Options{RC: 5, Rand: rng(19), Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := plain.Graph.Edges(), traced.Graph.Edges()
+	if len(ea) != len(eb) {
+		t.Fatalf("tracing changed the edge count: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("tracing changed edge %d", i)
+		}
+	}
+
+	spans := tr.Spans()
+	byName := make(map[string]obs.Span, len(spans))
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	for _, want := range []string{
+		"estimate", "subgraph", "phase1_degree_vector", "phase2_jdm",
+		"phase3_construct", "phase4_rewire", "rewire/propose", "rewire/commit",
+	} {
+		sp, ok := byName[want]
+		if !ok {
+			t.Fatalf("trace missing span %q (got %d spans)", want, len(spans))
+		}
+		if sp.StartUS < 0 || sp.DurUS < 0 {
+			t.Fatalf("span %q has negative timing: %+v", want, sp)
+		}
+	}
+	// Phase spans appear in pipeline order.
+	order := []string{"estimate", "subgraph", "phase1_degree_vector",
+		"phase2_jdm", "phase3_construct", "phase4_rewire"}
+	for i := 1; i < len(order); i++ {
+		if byName[order[i]].StartUS < byName[order[i-1]].StartUS {
+			t.Fatalf("span %q starts before %q", order[i], order[i-1])
+		}
+	}
+	// The aggregate rewire timers fold thousands of rounds into two spans;
+	// both must have seen every round.
+	if byName["rewire/propose"].Count == 0 || byName["rewire/commit"].Count == 0 {
+		t.Fatalf("rewire round timers recorded no episodes: propose=%d commit=%d",
+			byName["rewire/propose"].Count, byName["rewire/commit"].Count)
 	}
 }
 

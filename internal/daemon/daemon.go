@@ -14,31 +14,27 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
 	"syscall"
 	"time"
+
+	"sgr/internal/obs"
 )
 
-// Metric is one counter or gauge exposed on /v1/metrics.
-type Metric struct {
-	Name  string
-	Value int64
-}
+// MetricsContentType is the Prometheus text exposition content type
+// /v1/metrics answers with (format version 0.0.4 — what every Prometheus
+// scraper negotiates for the text format).
+const MetricsContentType = "text/plain; version=0.0.4; charset=utf-8"
 
-// MetricsHandler serves the collected metrics as plain text, one
-// "name value" line per metric in the order collected — the Prometheus
-// exposition subset every scraper and shell script can parse.
-func MetricsHandler(collect func() []Metric) http.Handler {
+// MetricsHandler serves an obs.Registry in the Prometheus text exposition
+// format: # HELP/# TYPE lines, counters and gauges as "name value" lines
+// (the subset the shell-script scrapes have always parsed), histograms as
+// cumulative le-labeled buckets with _sum/_count plus derived
+// _p50/_p99/_p999 gauges. Output is byte-stable between scrapes with no
+// metric activity, in sorted metric-name order.
+func MetricsHandler(reg *obs.Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		buf := make([]byte, 0, 512)
-		for _, m := range collect() {
-			buf = append(buf, m.Name...)
-			buf = append(buf, ' ')
-			buf = strconv.AppendInt(buf, m.Value, 10)
-			buf = append(buf, '\n')
-		}
-		w.Write(buf)
+		w.Header().Set("Content-Type", MetricsContentType)
+		reg.WritePrometheus(w)
 	})
 }
 

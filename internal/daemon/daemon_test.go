@@ -8,24 +8,58 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"sgr/internal/obs"
 )
 
 func TestMetricsHandlerFormat(t *testing.T) {
-	h := MetricsHandler(func() []Metric {
-		return []Metric{
-			{Name: "svc_queries_served", Value: 42},
-			{Name: "svc_rate_limited", Value: 0},
-			{Name: "svc_active_clients", Value: -1}, // gauges may be negative
-		}
-	})
+	reg := obs.NewRegistry()
+	reg.Counter("svc_queries_served", "queries answered").Add(42)
+	reg.Counter("svc_rate_limited", "429s issued")
+	reg.Gauge("svc_active_clients", "distinct clients").Set(-1) // gauges may be negative
+	h := MetricsHandler(reg)
 	rr := httptest.NewRecorder()
 	h.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/metrics", nil))
-	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
-		t.Fatalf("Content-Type = %q, want text/plain", ct)
+	// The exact Prometheus text-format content type: scrapers negotiate on
+	// the version parameter.
+	if ct := rr.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type = %q, want the Prometheus text exposition type", ct)
 	}
-	want := "svc_queries_served 42\nsvc_rate_limited 0\nsvc_active_clients -1\n"
-	if got := rr.Body.String(); got != want {
-		t.Fatalf("metrics body = %q, want %q", got, want)
+	body := rr.Body.String()
+	for _, want := range []string{
+		"# TYPE svc_queries_served counter\n",
+		"svc_queries_served 42\n",
+		"svc_rate_limited 0\n",
+		"svc_active_clients -1\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics body missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestMetricsHandlerByteStable pins the scrape-diff contract end to end
+// through the handler, mirroring TestHealthzKeyOrderStable: 32 scrapes of
+// an idle registry are byte-identical.
+func TestMetricsHandlerByteStable(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("svc_served", "served").Add(7)
+	reg.Histogram("svc_req_usec", "request latency").Observe(120)
+	h := MetricsHandler(reg)
+	first := ""
+	for i := 0; i < 32; i++ {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/metrics", nil))
+		if i == 0 {
+			first = rr.Body.String()
+			continue
+		}
+		if got := rr.Body.String(); got != first {
+			t.Fatalf("scrape %d differs:\n%s\nvs first:\n%s", i, got, first)
+		}
+	}
+	if !strings.Contains(first, `svc_req_usec_bucket{le="+Inf"} 1`) {
+		t.Fatalf("histogram buckets missing from scrape:\n%s", first)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"sgr/internal/adjset"
 	"sgr/internal/graph"
+	"sgr/internal/obs"
 	"sgr/internal/parallel"
 	"sgr/internal/sampling"
 )
@@ -85,6 +86,12 @@ type ShardedRewireOptions struct {
 	// propose phase. <= 0 selects parallel.DefaultWorkers. Workers never
 	// affects the output, only the wall clock.
 	Workers int
+	// Trace, when set, receives two aggregate timers — "rewire/propose"
+	// and "rewire/commit" — accumulating the per-round phase split across
+	// every round of the run. Like Workers it is wall-clock-only: the
+	// timers read the monotonic clock and nothing else, so the output
+	// graph and RewireStats are byte-identical with and without one.
+	Trace *obs.Trace
 
 	// forceMergeEval pins the evaluator to the merge walk regardless of
 	// graph size. Test hook: the two evaluators must produce identical
@@ -616,6 +623,10 @@ type shardedRun struct {
 	csc     *evalScratch
 	newTerm []float64
 
+	// Aggregate round timers (nil when untraced): the propose/commit
+	// wall-clock split across every round. Observability only.
+	proposeTm, commitTm *obs.Timer
+
 	hs, quotas []int // per-round pairable-half counts and quotas
 	remOrder   []int // largest-remainder allocation scratch
 }
@@ -629,6 +640,8 @@ func newShardedRun(st *rewireState, rows *sortedRows, opts ShardedRewireOptions)
 		workers:    opts.Workers,
 		shards:     opts.shards(),
 		roundSize:  opts.roundSize(),
+		proposeTm:  opts.Trace.Timer("rewire/propose"),
+		commitTm:   opts.Trace.Timer("rewire/commit"),
 	}
 	kmax := len(st.buckets) - 1
 	// Assign degree buckets to shards by greedy longest-processing-time
@@ -695,11 +708,15 @@ func (r *shardedRun) run(total int, stats *RewireStats) {
 		}
 		r.round++
 		stats.Rounds++
+		r.proposeTm.Start()
 		parallel.ForEach(r.workers, r.shards, func(s int) error {
 			r.shardJob(s, r.quotas[s])
 			return nil
 		})
+		r.proposeTm.Stop()
+		r.commitTm.Start()
 		r.commitRound(stats)
+		r.commitTm.Stop()
 		done += p
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"sgr/internal/core"
 	"sgr/internal/graph"
 	"sgr/internal/metrics"
+	"sgr/internal/obs"
 	"sgr/internal/parallel"
 	"sgr/internal/props"
 	"sgr/internal/sampling"
@@ -117,6 +118,13 @@ type Config struct {
 	// original graph (from ComputeOriginal), letting sweeps that evaluate
 	// one graph under many configurations skip recomputing it per call.
 	Original *props.Result
+	// CellTime, when non-nil, receives one observation per evaluation cell:
+	// the cell's generation wall time in microseconds. The histogram is a
+	// pure observability output — it is fed during the ordered merge, after
+	// all cells complete, so it never influences scheduling or results and
+	// the byte-identical-at-any-worker-count guarantee is unaffected. Wire
+	// it into an obs.Registry to watch a long sweep's cell latency p99 live.
+	CellTime *obs.Histogram
 }
 
 // ComputeOriginal evaluates the original graph's 12 properties under this
@@ -373,6 +381,9 @@ func Evaluate(g *graph.Graph, cfg Config) (*Evaluation, error) {
 			}
 			st.TotalTimes = append(st.TotalTimes, cr.total)
 			st.RewireTimes = append(st.RewireTimes, cr.rewire)
+			if cfg.CellTime != nil {
+				cfg.CellTime.Observe(cr.total.Microseconds())
+			}
 		}
 	}
 	return ev, nil

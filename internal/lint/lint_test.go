@@ -33,6 +33,15 @@ func TestDirectFixtures(t *testing.T) {
 	linttest.Run(t, filepath.Join("testdata", "src", "direct"), "wallclock")
 }
 
+// TestKeyCanonFixtures pins the observability boundary from the locked
+// side: code shaped like restored/key.go's content-address canonicalization
+// is flagged the moment a clock read sneaks in, even though the obs package
+// (wallclock-exempt by scope) reads clocks two doors down. Span capture is
+// legal; timestamped cache keys are not.
+func TestKeyCanonFixtures(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "src", "keycanon"), "wallclock")
+}
+
 // TestFrozenReferenceShapesClean runs the whole suite over map-iteration
 // shapes distilled from the frozen reference engines
 // (rewire_mapref_test.go, csrdiff_test.go): all of them must pass without

@@ -32,6 +32,13 @@ var criticalPkgs = map[string]bool{
 const (
 	oraclePkg   = "sgr/internal/oracle"
 	restoredPkg = "sgr/internal/restored"
+	// obsPkg is the observability layer. Its exposition output is part of
+	// the byte-stable contract (32 identical scrapes), so map order and
+	// unseeded randomness are in scope — but it is the ONE package whose
+	// whole point is reading monotonic clocks, so the wallclock analyzer
+	// stays out. Span capture is legal there; anything feeding the
+	// content-address path (restored/key.go) stays locked.
+	obsPkg = "sgr/internal/obs"
 )
 
 // restoredKeyFiles is the content-address computation inside the restored
@@ -52,14 +59,19 @@ func inScope(analyzer, pkgPath, base string) bool {
 		// Directives are validated wherever they appear.
 		return true
 	case "maprange":
-		return criticalPkgs[pkgPath] || (pkgPath == restoredPkg && restoredKeyFiles[base])
+		// obs is in scope: its Prometheus exposition promises byte-stable
+		// order, which a map range would silently break.
+		return criticalPkgs[pkgPath] || pkgPath == obsPkg ||
+			(pkgPath == restoredPkg && restoredKeyFiles[base])
 	case "seededrand":
 		// The oracle's injected faults and the restored daemon are part of
 		// the byte-identical crawl/restore contracts, so their randomness
 		// must be explicitly seeded too.
-		return criticalPkgs[pkgPath] || pkgPath == oraclePkg || pkgPath == restoredPkg
+		return criticalPkgs[pkgPath] || pkgPath == oraclePkg ||
+			pkgPath == restoredPkg || pkgPath == obsPkg
 	case "floatorder":
-		return criticalPkgs[pkgPath] || pkgPath == oraclePkg || pkgPath == restoredPkg
+		return criticalPkgs[pkgPath] || pkgPath == oraclePkg ||
+			pkgPath == restoredPkg || pkgPath == obsPkg
 	case "wallclock":
 		// Tests may poll deadlines, and the harness times restorer calls
 		// for its reports — wall time there is measurement, not output.
@@ -67,6 +79,15 @@ func inScope(analyzer, pkgPath, base string) bool {
 			return false
 		}
 		if pkgPath == "sgr/internal/harness" {
+			return false
+		}
+		// obs exists to read monotonic clocks (spans, timers, histograms
+		// of wall latency); it is measurement by construction and out of
+		// scope. The boundary holds because the locked packages (core,
+		// dkseries, restored/key.go) may only *call* obs's nil-safe hooks,
+		// never read clocks themselves — a time.Now() smuggled into key
+		// canonicalization is still flagged (see the keycanon fixture).
+		if pkgPath == obsPkg {
 			return false
 		}
 		return criticalPkgs[pkgPath] || (pkgPath == restoredPkg && base == "key.go")

@@ -34,6 +34,16 @@ func TestScopeRules(t *testing.T) {
 		{"wallclock", "sgr/internal/restored", "service.go", false},
 		{"seededrand", "sgr/internal/restored", "service.go", true},
 
+		// The observability layer: byte-stable exposition keeps it inside
+		// maprange/floatorder/seededrand scope, but reading monotonic
+		// clocks is its job, so wallclock stays out — span capture is
+		// legal in obs while the key path below stays locked.
+		{"maprange", "sgr/internal/obs", "obs.go", true},
+		{"floatorder", "sgr/internal/obs", "histogram.go", true},
+		{"seededrand", "sgr/internal/obs", "trace.go", true},
+		{"wallclock", "sgr/internal/obs", "trace.go", false},
+		{"wallclock", "sgr/internal/obs", "histogram.go", false},
+
 		// Measurement code is out of wallclock scope: tests poll
 		// deadlines, the harness times restorers for its reports.
 		{"wallclock", "sgr/internal/sampling", "sampling_test.go", false},

@@ -1,0 +1,50 @@
+// Fixture distilled from restored/key.go's content-address canonicalization:
+// the shape of code that turns a submission into cache-key bytes. The
+// wallclock analyzer is applied here exactly as the scope table applies it
+// to key.go — proving that a time.Now() smuggled into canonicalization is
+// flagged (the tree goes red), even though the obs package next door reads
+// clocks freely. Timing belongs in span capture, never in key bytes.
+package keycanon
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+)
+
+// spec is a stand-in for the resolved job submission.
+type spec struct {
+	method string
+	rc     float64
+	seed   uint64
+	canon  []byte
+}
+
+// keyOf is the clean shape: the content address is a function of the
+// canonical submission bytes alone. No findings.
+func keyOf(ps spec) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "method=%s\nrc=%v\nseed=%d\n", ps.method, ps.rc, ps.seed)
+	h.Write(ps.canon)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// keyOfStamped smuggles a wall-clock read into the canonicalization — the
+// one bug the whole observability layer is built to make impossible: every
+// resubmission would re-key, the cache would never hit, and byte-identity
+// across daemons would silently break. Flagged.
+func keyOfStamped(ps spec) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "method=%s\nrc=%v\nseed=%d\n", ps.method, ps.rc, ps.seed)
+	fmt.Fprintf(h, "at=%d\n", time.Now().UnixNano()) // want "time.Now in deterministic pipeline code"
+	h.Write(ps.canon)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// keyAge times how stale a cached key is — also a clock read on the key
+// path, also flagged: measurement belongs to the obs layer outside this
+// scope, not to code holding key material.
+func keyAge(computedAt time.Time) time.Duration {
+	return time.Since(computedAt) // want "time.Since in deterministic pipeline code"
+}

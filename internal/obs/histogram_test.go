@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestLatencyBucketsShape pins the bucket table: strictly increasing,
+// 1-2-5 per decade, 1µs through 5×10⁹µs.
+func TestLatencyBucketsShape(t *testing.T) {
+	if got, want := len(LatencyBuckets), 30; got != want {
+		t.Fatalf("len(LatencyBuckets) = %d, want %d", got, want)
+	}
+	if LatencyBuckets[0] != 1 {
+		t.Fatalf("first bound = %d, want 1", LatencyBuckets[0])
+	}
+	if last := LatencyBuckets[len(LatencyBuckets)-1]; last != 5_000_000_000 {
+		t.Fatalf("last bound = %d, want 5e9", last)
+	}
+	for i := 1; i < len(LatencyBuckets); i++ {
+		lo, hi := LatencyBuckets[i-1], LatencyBuckets[i]
+		if hi <= lo {
+			t.Fatalf("bounds not increasing at %d: %d <= %d", i, hi, lo)
+		}
+		if ratio := float64(hi) / float64(lo); ratio > 2.5 {
+			t.Fatalf("bucket ratio at %d is %v > 2.5 (quantile error bound)", i, ratio)
+		}
+	}
+}
+
+// TestHistogramBucketBoundaries drives observations at, below, and above
+// bucket edges and checks each lands in exactly the bucket whose upper
+// bound is the first >= the value.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int // index into counts
+	}{
+		{-5, 0},             // negative clamps to zero, first bucket
+		{0, 0},              // zero <= 1
+		{1, 0},              // exactly on the first bound
+		{2, 1},              // exactly on a bound lands in that bucket (le semantics)
+		{3, 2},              // between 2 and 5
+		{5, 2},              // on the 5 bound
+		{6, 3},              // just above 5 -> le=10
+		{999, 9},            // just below 1000
+		{1000, 9},           // on the 1000 bound
+		{1001, 10},          // just above
+		{4_999_999_999, 29}, // just under the last bound
+		{5_000_000_000, 29}, // on the last bound
+		{5_000_000_001, 30}, // overflow -> +Inf
+	}
+	for _, c := range cases {
+		h := NewHistogram()
+		h.Observe(c.v)
+		for i := range h.counts {
+			want := int64(0)
+			if i == c.bucket {
+				want = 1
+			}
+			if got := h.counts[i].Load(); got != want {
+				t.Errorf("Observe(%d): bucket %d count = %d, want %d", c.v, i, got, want)
+			}
+		}
+		if h.Count() != 1 {
+			t.Errorf("Observe(%d): count = %d, want 1", c.v, h.Count())
+		}
+		wantSum := c.v
+		if wantSum < 0 {
+			wantSum = 0
+		}
+		if h.Sum() != wantSum {
+			t.Errorf("Observe(%d): sum = %d, want %d", c.v, h.Sum(), wantSum)
+		}
+	}
+}
+
+// TestHistogramConcurrentIncrements hammers one histogram from many
+// goroutines; totals must come out exact (run under -race in CI).
+func TestHistogramConcurrentIncrements(t *testing.T) {
+	h := NewHistogram()
+	const workers, per = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(uint64(w), uint64(w)^0xdeadbeef))
+			for i := 0; i < per; i++ {
+				h.Observe(int64(r.IntN(1_000_000)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := h.Count(), int64(workers*per); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+	}
+	if cum != h.Count() {
+		t.Fatalf("bucket total %d != count %d", cum, h.Count())
+	}
+}
+
+// TestHistogramQuantileVsSortedSample checks the quantile readout against
+// the exact sorted-sample quantile: the readout must never sit below it,
+// and never more than one bucket ratio (2.5x, plus the bucket's own
+// rounding up) above it.
+func TestHistogramQuantileVsSortedSample(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 7^0xabcdef))
+	samples := make([]int64, 0, 5000)
+	h := NewHistogram()
+	for i := 0; i < 5000; i++ {
+		// Log-uniform spread so every decade gets traffic.
+		v := r.Int64N(1 << (1 + r.IntN(30)))
+		samples = append(samples, v)
+		h.Observe(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1.0} {
+		rank := int(q * float64(len(samples)))
+		if float64(rank) < q*float64(len(samples)) {
+			rank++
+		}
+		if rank < 1 {
+			rank = 1
+		}
+		exact := samples[rank-1]
+		got := h.Quantile(q)
+		if got < exact {
+			t.Errorf("Quantile(%v) = %d below exact sample quantile %d", q, got, exact)
+		}
+		// The readout is the bucket's upper bound: at most one bucket above
+		// the bound that first covers the exact value.
+		i := sort.Search(len(LatencyBuckets), func(i int) bool { return LatencyBuckets[i] >= exact })
+		bound := LatencyBuckets[min(i, len(LatencyBuckets)-1)]
+		if got > bound {
+			t.Errorf("Quantile(%v) = %d above covering bound %d of exact %d", q, got, bound, exact)
+		}
+	}
+}
+
+// TestHistogramQuantileEmpty pins the empty readout.
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram()
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty Quantile = %d, want 0", got)
+	}
+}
+
+// TestHistogramQuantileSmallCounts pins exact ranks on tiny populations,
+// where off-by-one rank rounding is most visible.
+func TestHistogramQuantileSmallCounts(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1) // bucket le=1
+	h.Observe(9) // bucket le=10
+	if got := h.Quantile(0.5); got != 1 {
+		t.Errorf("p50 of {1,9} = %d, want 1 (rank 1 of 2)", got)
+	}
+	if got := h.Quantile(0.99); got != 10 {
+		t.Errorf("p99 of {1,9} = %d, want 10", got)
+	}
+	if got := h.Quantile(1.0); got != 10 {
+		t.Errorf("p100 of {1,9} = %d, want 10", got)
+	}
+}

@@ -1,0 +1,202 @@
+// Package obs is the unified observability layer: a metrics registry
+// (counters, gauges, fixed-bucket latency histograms) exported in the
+// Prometheus text exposition format, and deterministic pipeline tracing
+// (phase/span records with monotonic-clock durations).
+//
+// The package sits deliberately OUTSIDE the determinism contract's output
+// path: everything it measures is wall clock, and nothing it produces may
+// feed a restoration output byte or a content-addressed job key. The
+// sgrlint scope table encodes that boundary — wall-clock reads are legal
+// here (span capture is this package's job) and in the daemons that embed
+// a Registry, while the pipeline phases and the restored key path stay
+// locked. Pipeline code that wants timing therefore calls into obs
+// (Trace.Start, Timer) instead of reading the clock itself.
+//
+// Exposition is byte-stable: metrics export in sorted name order with
+// fixed bucket layouts, so two scrapes with no activity in between are
+// byte-identical — the same contract daemon.HealthzHandler makes for the
+// liveness body.
+package obs
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric with lock-cheap atomic
+// increments.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// metric kinds, in the vocabulary of the exposition format.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// metric is one registered name.
+type metric struct {
+	name, help, kind string
+
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() int64
+	hist    *Histogram
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. Registration is cheap and typically happens once at
+// service construction; reads during export take one lock around the
+// (atomic) value loads.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]*metric
+	ordered []*metric // sorted by name, maintained on register
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// register inserts m keeping ordered sorted by name. Duplicate names
+// panic: two owners of one metric name is a wiring bug, and catching it at
+// construction beats silently double-counting.
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[m.name]; dup {
+		panic("obs: duplicate metric name " + m.name)
+	}
+	r.byName[m.name] = m
+	i := sort.Search(len(r.ordered), func(i int) bool { return r.ordered[i].name > m.name })
+	r.ordered = append(r.ordered, nil)
+	copy(r.ordered[i+1:], r.ordered[i:])
+	r.ordered[i] = m
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// Gauge registers and returns a settable gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, kind: kindGauge, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time —
+// for live quantities that already have an owner (queue depths, table
+// sizes, worker counts).
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	r.register(&metric{name: name, help: help, kind: kindGauge, gaugeFn: fn})
+}
+
+// Histogram registers and returns a latency histogram over the default
+// log-spaced microsecond buckets.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	h := NewHistogram()
+	r.register(&metric{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// Sample is one scalar metric value, for exit logs and tests.
+type Sample struct {
+	Name  string
+	Value int64
+}
+
+// Snapshot returns every counter and gauge value (histograms report their
+// observation count under name_count), sorted by name.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Sample, 0, len(r.ordered))
+	for _, m := range r.ordered {
+		switch {
+		case m.counter != nil:
+			out = append(out, Sample{m.name, m.counter.Value()})
+		case m.gauge != nil:
+			out = append(out, Sample{m.name, m.gauge.Value()})
+		case m.gaugeFn != nil:
+			out = append(out, Sample{m.name, m.gaugeFn()})
+		case m.hist != nil:
+			out = append(out, Sample{m.name + "_count", m.hist.Count()})
+		}
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): # HELP and # TYPE lines per metric, metrics in
+// sorted name order, histograms as cumulative le-labeled buckets plus
+// _sum/_count, followed by derived _p50/_p99/_p999 quantile gauges.
+// With no metric activity between calls the output is byte-identical.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	buf := make([]byte, 0, 4096)
+	for _, m := range r.ordered {
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, m.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, m.help...)
+		buf = append(buf, "\n# TYPE "...)
+		buf = append(buf, m.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, m.kind...)
+		buf = append(buf, '\n')
+		switch {
+		case m.counter != nil:
+			buf = appendScalar(buf, m.name, m.counter.Value())
+		case m.gauge != nil:
+			buf = appendScalar(buf, m.name, m.gauge.Value())
+		case m.gaugeFn != nil:
+			buf = appendScalar(buf, m.name, m.gaugeFn())
+		case m.hist != nil:
+			buf = m.hist.appendPrometheus(buf, m.name)
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func appendScalar(buf []byte, name string, v int64) []byte {
+	buf = append(buf, name...)
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, v, 10)
+	buf = append(buf, '\n')
+	return buf
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("svc_queries_served", "neighbor queries answered")
+	g := r.Gauge("svc_active", "active somethings")
+	r.GaugeFunc("svc_workers", "configured workers", func() int64 { return 4 })
+	c.Add(41)
+	c.Inc()
+	g.Set(-1) // gauges may go negative
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP svc_queries_served neighbor queries answered\n",
+		"# TYPE svc_queries_served counter\n",
+		"svc_queries_served 42\n",
+		"# TYPE svc_active gauge\n",
+		"svc_active -1\n",
+		"svc_workers 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Sorted name order regardless of registration order.
+	if strings.Index(out, "svc_active") > strings.Index(out, "svc_queries_served") {
+		t.Errorf("metrics not in sorted name order:\n%s", out)
+	}
+}
+
+func TestRegistryHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("svc_req_usec", "request latency")
+	for _, v := range []int64{3, 3, 7, 40, 900, 6_000_000_000} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE svc_req_usec histogram\n",
+		`svc_req_usec_bucket{le="5"} 2` + "\n",  // the two 3s
+		`svc_req_usec_bucket{le="10"} 3` + "\n", // + the 7
+		`svc_req_usec_bucket{le="50"} 4` + "\n",
+		`svc_req_usec_bucket{le="1000"} 5` + "\n",
+		`svc_req_usec_bucket{le="+Inf"} 6` + "\n", // the overflow 6e9
+		"svc_req_usec_count 6\n",
+		"# TYPE svc_req_usec_p50 gauge\n",
+		"svc_req_usec_p50 10\n", // rank 3 of 6 lands on the 7
+		"svc_req_usec_p99 5000000000\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if want := int64(3 + 3 + 7 + 40 + 900 + 6_000_000_000); h.Sum() != want {
+		t.Errorf("sum = %d, want %d", h.Sum(), want)
+	}
+}
+
+// TestExpositionByteStable mirrors the healthz byte-stability contract:
+// with no metric activity, 32 scrapes are byte-identical — scrape
+// pipelines may diff or hash the body.
+func TestExpositionByteStable(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("svc_req_usec", "request latency")
+	c := r.Counter("svc_served", "served")
+	r.GaugeFunc("svc_depth", "queue depth", func() int64 { return 3 })
+	h.Observe(17)
+	h.Observe(90_000)
+	c.Add(5)
+
+	var first bytes.Buffer
+	if err := r.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), first.Bytes()) {
+			t.Fatalf("scrape %d differs:\n%s\nvs first:\n%s", i, buf.String(), first.String())
+		}
+	}
+}
+
+// TestExpositionParses applies the same shape check the e2e scripts'
+// awk gate does: every non-comment line is "name value" or
+// `name{labels} value` with a numeric value.
+func TestExpositionParses(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("svc_req_usec", "request latency").Observe(7)
+	r.Counter("svc_served", "served").Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("line %q does not split into name value", line)
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "first")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup", "second")
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_counter", "b").Add(2)
+	r.Gauge("a_gauge", "a").Set(7)
+	r.Histogram("c_hist_usec", "c").Observe(1)
+	got := r.Snapshot()
+	want := []Sample{{"a_gauge", 7}, {"b_counter", 2}, {"c_hist_usec_count", 1}}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("snapshot[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestTraceSpansOrderedAndCovering(t *testing.T) {
+	tr := NewTrace("job")
+	end := tr.Start("phase1")
+	time.Sleep(2 * time.Millisecond)
+	end()
+	end = tr.Start("phase2")
+	time.Sleep(2 * time.Millisecond)
+	end()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "phase1" || spans[1].Name != "phase2" {
+		t.Fatalf("span order = %q,%q", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].StartUS > spans[1].StartUS {
+		t.Fatalf("spans not in start order: %d > %d", spans[0].StartUS, spans[1].StartUS)
+	}
+	for _, sp := range spans {
+		if sp.DurUS <= 0 {
+			t.Errorf("span %s has no duration", sp.Name)
+		}
+	}
+	if total := tr.TotalUS(); total < spans[1].StartUS+spans[1].DurUS {
+		t.Errorf("TotalUS %d below last span end", total)
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	end := tr.Start("anything")
+	end()
+	tm := tr.Timer("rounds")
+	tm.Start()
+	tm.Stop()
+	if tr.Spans() != nil || tr.TotalUS() != 0 || tr.Name() != "" {
+		t.Fatal("nil trace must be inert")
+	}
+}
+
+func TestTimerAccumulates(t *testing.T) {
+	tr := NewTrace("job")
+	tm := tr.Timer("propose")
+	for i := 0; i < 3; i++ {
+		tm.Start()
+		time.Sleep(time.Millisecond)
+		tm.Stop()
+	}
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("timer made %d spans, want 1 aggregate", len(spans))
+	}
+	sp := spans[0]
+	if sp.Name != "propose" || sp.Count != 3 {
+		t.Fatalf("aggregate span = %+v, want 3 episodes", sp)
+	}
+	if sp.DurUS < 3*900 { // three ~1ms sleeps, generous floor
+		t.Fatalf("aggregate duration %dus too small", sp.DurUS)
+	}
+}
+
+func TestTraceJSONAndChrome(t *testing.T) {
+	tr := NewTrace("demo")
+	end := tr.Start("estimate")
+	end()
+	tm := tr.Timer("rewire/propose")
+	tm.Start()
+	tm.Stop()
+
+	js := tr.JSON()
+	if js.Name != "demo" || len(js.Spans) != 2 {
+		t.Fatalf("JSON = %+v", js)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			TID  int    `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("chrome dump is not JSON: %v\n%s", err, buf.String())
+	}
+	if len(out.TraceEvents) != 2 || out.DisplayTimeUnit != "ms" {
+		t.Fatalf("chrome dump = %+v", out)
+	}
+	if out.TraceEvents[0].Ph != "X" || out.TraceEvents[0].TID != 1 {
+		t.Errorf("plain span event = %+v, want ph X on tid 1", out.TraceEvents[0])
+	}
+	if out.TraceEvents[1].TID != 2 {
+		t.Errorf("aggregate span event = %+v, want tid 2", out.TraceEvents[1])
+	}
+}

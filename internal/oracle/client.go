@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sgr/internal/obs"
 	"sgr/internal/sampling"
 )
 
@@ -74,7 +75,63 @@ type Client struct {
 	nodesFetched atomic.Int64 // nodes answered over the wire (budget spent)
 	requests     atomic.Int64 // HTTP attempts issued, including retries
 	privateSeen  atomic.Int64 // private answers observed (wire or journal)
-	sleep        func(time.Duration)
+
+	// Transport telemetry behind Stats(). queryUsec measures whole getJSON
+	// calls — retries, backoff sleeps and pagination included — because the
+	// crawler-visible wait per query is the cost that dominates real OSN
+	// crawls, not server CPU. None of this feeds crawl bytes: the crawl is
+	// byte-identical whatever the latencies were.
+	retries         atomic.Int64   // attempts beyond the first, per request
+	rateLimited     atomic.Int64   // 429 answers observed
+	backoffUS       atomic.Int64   // cumulative backoff sleep, microseconds
+	cacheHits       atomic.Int64   // Neighbors served from cache (journal replays included)
+	prefetchBatches atomic.Int64   // batch requests issued by Prefetch
+	prefetchNodes   atomic.Int64   // nodes claimed by Prefetch
+	queryUsec       *obs.Histogram // per-query wait (full retry loop)
+
+	sleep func(time.Duration)
+}
+
+// Stats is a point-in-time snapshot of the client's transport telemetry.
+// Pure observation: two crawls with wildly different Stats still produce
+// byte-identical crawl records at the same seed.
+type Stats struct {
+	// NodesFetched, Requests mirror the accessor methods.
+	NodesFetched int64
+	Requests     int64
+	// Retries counts HTTP attempts beyond each request's first; RateLimited
+	// counts 429 answers; Backoff is the total time slept between attempts.
+	Retries     int64
+	RateLimited int64
+	Backoff     time.Duration
+	// CacheHits counts Neighbors calls answered without a fetch (lifetime
+	// cache, journal replays included). PrefetchBatches/PrefetchNodes count
+	// batched warm-up requests and the nodes they claimed.
+	CacheHits       int64
+	PrefetchBatches int64
+	PrefetchNodes   int64
+	// Queries is the latency-histogram population; QueryP50/QueryP99 are
+	// its quantile readouts (upper bucket bounds, so never optimistic).
+	Queries  int64
+	QueryP50 time.Duration
+	QueryP99 time.Duration
+}
+
+// Stats snapshots the client's transport telemetry.
+func (c *Client) Stats() Stats {
+	return Stats{
+		NodesFetched:    c.nodesFetched.Load(),
+		Requests:        c.requests.Load(),
+		Retries:         c.retries.Load(),
+		RateLimited:     c.rateLimited.Load(),
+		Backoff:         time.Duration(c.backoffUS.Load()) * time.Microsecond,
+		CacheHits:       c.cacheHits.Load(),
+		PrefetchBatches: c.prefetchBatches.Load(),
+		PrefetchNodes:   c.prefetchNodes.Load(),
+		Queries:         c.queryUsec.Count(),
+		QueryP50:        time.Duration(c.queryUsec.Quantile(0.50)) * time.Microsecond,
+		QueryP99:        time.Duration(c.queryUsec.Quantile(0.99)) * time.Microsecond,
+	}
 }
 
 // entry is one node's cache slot. done closes when nb/private/err are
@@ -109,11 +166,12 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		cfg.RequestTimeout = 30 * time.Second
 	}
 	c := &Client{
-		cfg:     cfg,
-		httpc:   cfg.HTTPClient,
-		baseURL: strings.TrimRight(cfg.BaseURL, "/"),
-		cache:   make(map[int]*entry),
-		sleep:   time.Sleep,
+		cfg:       cfg,
+		httpc:     cfg.HTTPClient,
+		baseURL:   strings.TrimRight(cfg.BaseURL, "/"),
+		cache:     make(map[int]*entry),
+		queryUsec: obs.NewHistogram(),
+		sleep:     time.Sleep,
 	}
 	if c.httpc == nil {
 		c.httpc = &http.Client{Timeout: cfg.RequestTimeout}
@@ -206,6 +264,7 @@ func (c *Client) Neighbors(u int) ([]int, error) {
 	c.mu.Lock()
 	if e, ok := c.cache[u]; ok {
 		c.mu.Unlock()
+		c.cacheHits.Add(1)
 		<-e.done
 		return e.nb, e.err
 	}
@@ -287,11 +346,13 @@ func (c *Client) Prefetch(ids []int) {
 		entries = append(entries, e)
 	}
 	c.mu.Unlock()
+	c.prefetchNodes.Add(int64(len(owned)))
 	for len(owned) > 0 {
 		n := len(owned)
 		if n > c.meta.MaxBatch {
 			n = c.meta.MaxBatch
 		}
+		c.prefetchBatches.Add(1)
 		c.prefetchChunk(owned[:n], entries[:n])
 		owned, entries = owned[n:], entries[n:]
 	}
@@ -403,10 +464,15 @@ func (c *Client) fetchNodeFrom(u int, nb []int, cursor int) ([]int, error) {
 // decoding a 200 body into out. 429 (honoring Retry-After), any 5xx, and
 // transport errors retry; 4xx protocol errors are permanent.
 func (c *Client) getJSON(url string, out any) error {
+	start := time.Now()
+	defer func() { c.queryUsec.Observe(time.Since(start).Microseconds()) }()
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
-			c.sleep(c.backoff(attempt, lastErr))
+			c.retries.Add(1)
+			d := c.backoff(attempt, lastErr)
+			c.backoffUS.Add(d.Microseconds())
+			c.sleep(d)
 		}
 		c.requests.Add(1)
 		resp, err := c.doGet(url)
@@ -429,6 +495,9 @@ func (c *Client) getJSON(url string, out any) error {
 		case resp.StatusCode == http.StatusForbidden && errCode(body) == ErrCodePrivate:
 			return errPrivateNode
 		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+			if resp.StatusCode == http.StatusTooManyRequests {
+				c.rateLimited.Add(1)
+			}
 			lastErr = &retriableStatus{status: resp.StatusCode, retryAfter: parseRetryAfter(resp)}
 			continue
 		default:

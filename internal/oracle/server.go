@@ -9,11 +9,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"sgr/internal/daemon"
 	"sgr/internal/graph"
+	"sgr/internal/obs"
 )
 
 // DefaultPageSize bounds how many neighbors one response carries when
@@ -70,9 +70,15 @@ type Server struct {
 	faultMu  sync.Mutex
 	faultRng *rand.Rand
 
-	queries     atomic.Int64 // neighbor pages served with 200
-	rateLimited atomic.Int64 // 429s issued
-	faulted     atomic.Int64 // injected 503s
+	// reg is the /v1/metrics registry. The counters keep the metric names
+	// the plain-text endpoint has always exposed — scrapes written against
+	// the old format keep parsing — and gain a per-request service-time
+	// histogram on top.
+	reg         *obs.Registry
+	queries     *obs.Counter   // neighbor pages served with 200
+	rateLimited *obs.Counter   // 429s issued
+	faulted     *obs.Counter   // injected 503s
+	reqUsec     *obs.Histogram // data-endpoint service time, faults and injected latency included
 
 	// clientMu/clientSeen track distinct client keys across the data
 	// endpoints for the /v1/metrics active-client gauge. The limiter's own
@@ -101,24 +107,37 @@ func NewServer(g *graph.Graph, cfg ServerConfig) *Server {
 		clientSeen: make(map[string]struct{}),
 		limiter:    NewLimiter(cfg.Rate, cfg.Burst),
 		faultRng:   rand.New(rand.NewPCG(cfg.FaultSeed, cfg.FaultSeed^0x94d049bb133111eb)),
+		reg:        obs.NewRegistry(),
 		now:        time.Now,
 		sleep:      time.Sleep,
 	}
+	s.queries = s.reg.Counter("graphd_queries_served", "neighbor pages answered with 200 (budget handed out)")
+	s.rateLimited = s.reg.Counter("graphd_rate_limited", "requests answered 429")
+	s.faulted = s.reg.Counter("graphd_faulted", "injected transient 503s served")
+	s.reg.GaugeFunc("graphd_active_clients", "distinct client keys seen on the data endpoints",
+		func() int64 { return int64(s.ActiveClients()) })
+	s.reqUsec = s.reg.Histogram("graphd_request_usec", "data-endpoint service time in microseconds, injected latency and faults included")
 	for _, u := range cfg.Private {
 		s.private[u] = struct{}{}
 	}
 	return s
 }
 
+// observeRequest records one data request's service time; defer it with
+// the entry timestamp at the top of a handler.
+func (s *Server) observeRequest(start time.Time) {
+	s.reqUsec.Observe(s.now().Sub(start).Microseconds())
+}
+
 // QueriesServed reports neighbor pages answered with 200 — the budget the
 // server has handed out.
-func (s *Server) QueriesServed() int64 { return s.queries.Load() }
+func (s *Server) QueriesServed() int64 { return s.queries.Value() }
 
 // RateLimited reports how many requests were answered 429.
-func (s *Server) RateLimited() int64 { return s.rateLimited.Load() }
+func (s *Server) RateLimited() int64 { return s.rateLimited.Value() }
 
 // Faulted reports how many injected 503s were served.
-func (s *Server) Faulted() int64 { return s.faulted.Load() }
+func (s *Server) Faulted() int64 { return s.faulted.Value() }
 
 // ActiveClients reports how many distinct client keys (X-API-Key, or
 // remote host) have hit the data endpoints.
@@ -136,16 +155,12 @@ func (s *Server) noteClient(r *http.Request) {
 	s.clientMu.Unlock()
 }
 
-// Metrics returns the /v1/metrics snapshot. The names are shared with
-// restored's scrape format so one dashboard covers both daemons.
-func (s *Server) Metrics() []daemon.Metric {
-	return []daemon.Metric{
-		{Name: "graphd_queries_served", Value: s.queries.Load()},
-		{Name: "graphd_rate_limited", Value: s.rateLimited.Load()},
-		{Name: "graphd_faulted", Value: s.faulted.Load()},
-		{Name: "graphd_active_clients", Value: int64(s.ActiveClients())},
-	}
-}
+// Registry exposes the /v1/metrics registry: the historical counters
+// (graphd_queries_served, graphd_rate_limited, graphd_faulted,
+// graphd_active_clients — names shared with restored's scrape format so
+// one dashboard covers both daemons) plus the graphd_request_usec
+// service-time histogram.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // healthz describes the served graph for the liveness probe.
 func (s *Server) healthz() map[string]any {
@@ -165,11 +180,12 @@ func (s *Server) Handler() http.Handler {
 	// the rate limiter — health checks must see the daemon, not the
 	// simulated API weather.
 	mux.Handle("GET /v1/healthz", daemon.HealthzHandler(s.healthz))
-	mux.Handle("GET /v1/metrics", daemon.MetricsHandler(s.Metrics))
+	mux.Handle("GET /v1/metrics", daemon.MetricsHandler(s.reg))
 	return mux
 }
 
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	defer s.observeRequest(s.now())
 	s.noteClient(r)
 	s.injectLatency()
 	maxBatch := s.cfg.MaxBatch
@@ -180,6 +196,7 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	defer s.observeRequest(s.now())
 	s.noteClient(r)
 	if ok, retryAfter := s.limiter.Allow(clientKey(r), s.now()); !ok {
 		s.rateLimited.Add(1)
@@ -246,6 +263,7 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 // batch; hubs whose lists exceed PageSize return their first page with
 // next_cursor set, and clients continue on the single-node endpoint.
 func (s *Server) handleNeighborsBatch(w http.ResponseWriter, r *http.Request) {
+	defer s.observeRequest(s.now())
 	s.noteClient(r)
 	if ok, retryAfter := s.limiter.Allow(clientKey(r), s.now()); !ok {
 		s.rateLimited.Add(1)

@@ -244,12 +244,15 @@ func TestServerHealthzAndMetrics(t *testing.T) {
 	resp.Body.Close()
 	metrics := make(map[string]int64)
 	for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue // HELP/TYPE exposition comments
+		}
 		var name string
-		var v int64
-		if _, err := fmt.Sscanf(line, "%s %d", &name, &v); err != nil {
+		var v float64
+		if _, err := fmt.Sscanf(line, "%s %g", &name, &v); err != nil {
 			t.Fatalf("unparseable metrics line %q", line)
 		}
-		metrics[name] = v
+		metrics[name] = int64(v)
 	}
 	if metrics["graphd_queries_served"] != srv.QueriesServed() || metrics["graphd_queries_served"] < 2 {
 		t.Fatalf("queries_served metric %d, server says %d", metrics["graphd_queries_served"], srv.QueriesServed())
@@ -259,6 +262,9 @@ func TestServerHealthzAndMetrics(t *testing.T) {
 	}
 	if metrics["graphd_active_clients"] != 2 {
 		t.Fatalf("active_clients = %d, want 2", metrics["graphd_active_clients"])
+	}
+	if n := metrics["graphd_request_usec_count"]; n < 6 {
+		t.Fatalf("request_usec histogram observed %d requests, want >= 6", n)
 	}
 	// The probe/scrape endpoints themselves never count as clients or
 	// queries and are exempt from the rate limiter.

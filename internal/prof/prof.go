@@ -1,15 +1,30 @@
 // Package prof wires the standard -cpuprofile/-memprofile pprof flags into
 // the CLI commands, so perf work profiles the real pipeline (cmd/props,
-// cmd/restore) instead of microbenchmarks.
+// cmd/restore) instead of microbenchmarks. For the daemons it also mounts
+// the net/http/pprof handlers behind an explicit opt-in (Mount), so a
+// misbehaving graphd/restored can be profiled live.
 package prof
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
-	"runtime/pprof"
+	runpprof "runtime/pprof"
 )
+
+// Mount registers the net/http/pprof handlers on mux under /debug/pprof/.
+// The daemons call this only behind their -pprof flag: live profiling is
+// an operator opt-in, never an always-on endpoint.
+func Mount(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
 
 // Flags holds the file targets registered by AddFlags.
 type Flags struct {
@@ -37,14 +52,14 @@ func (f *Flags) Start() (stop func(), err error) {
 		if err != nil {
 			return nil, fmt.Errorf("prof: creating cpu profile: %w", err)
 		}
-		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+		if err := runpprof.StartCPUProfile(cpuFile); err != nil {
 			cpuFile.Close()
 			return nil, fmt.Errorf("prof: starting cpu profile: %w", err)
 		}
 	}
 	return func() {
 		if cpuFile != nil {
-			pprof.StopCPUProfile()
+			runpprof.StopCPUProfile()
 			cpuFile.Close()
 		}
 		if f.Mem != "" {
@@ -55,7 +70,7 @@ func (f *Flags) Start() (stop func(), err error) {
 			}
 			defer mf.Close()
 			runtime.GC() // materialize the final live set
-			if err := pprof.WriteHeapProfile(mf); err != nil {
+			if err := runpprof.WriteHeapProfile(mf); err != nil {
 				fmt.Fprintln(os.Stderr, "prof:", err)
 			}
 		}

@@ -24,11 +24,21 @@
 //	GET  /v1/jobs/{id}                -> JobStatus
 //	GET  /v1/jobs/{id}/graph          -> binary SGRB bytes (?format=edgelist for text)
 //	GET  /v1/jobs/{id}/props          -> the 12 structural properties, JSON
+//	GET  /v1/jobs/{id}/trace          -> pipeline timeline (?format=chrome for trace_event)
 //	GET  /v1/healthz, /v1/metrics     -> shared daemon endpoints
 //
 // A JobSpec names exactly one crawl source: an inline crawl JSON (the
 // sampling package's on-disk format), an uploaded oracle crawl journal, or
 // a graphd URL the daemon crawls server-side through oracle.Client.
+//
+// Every job also carries a deterministic pipeline timeline (internal/obs):
+// ordered spans for queueing, crawling, each restoration phase, the
+// aggregate rewire propose/commit rounds, encoding and the cache write,
+// served by the trace endpoint as JSON or a Chrome trace_event dump, with
+// queue_usec/phase_usec summarized on JobStatus. Timing is wall-clock
+// observation only — it lives strictly outside the content-address
+// canonicalization (TestTimingFieldsOutsideContentAddress pins this), so
+// tracing never re-keys a job and adds zero nondeterminism to results.
 package restored
 
 import "encoding/json"
@@ -99,9 +109,16 @@ type JobStatus struct {
 	Phase string `json:"phase,omitempty"`
 	// Cached reports that the result was served from the content-addressed
 	// cache without running the pipeline.
-	Cached bool       `json:"cached,omitempty"`
-	Error  string     `json:"error,omitempty"`
-	Result *JobResult `json:"result,omitempty"`
+	Cached bool `json:"cached,omitempty"`
+	// QueueUS is the queue latency (enqueue to worker pickup) and PhaseUS
+	// the execution wall clock so far (final once the job finishes), both
+	// in microseconds. Pure wall-clock telemetry: neither enters the job's
+	// content address — identical submissions hash identically no matter
+	// how long they waited.
+	QueueUS int64      `json:"queue_usec,omitempty"`
+	PhaseUS int64      `json:"phase_usec,omitempty"`
+	Error   string     `json:"error,omitempty"`
+	Result  *JobResult `json:"result,omitempty"`
 }
 
 // JobResult summarizes a finished restoration.

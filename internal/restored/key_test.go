@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"math/rand/v2"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -130,6 +131,54 @@ func TestCacheKeyCanonicalization(t *testing.T) {
 	// The RC default has one identity however it is spelled.
 	if mustKey(t, &JobSpec{Seed: 3, Crawl: canon}) != mustKey(t, &JobSpec{Seed: 3, RC: 500, Crawl: canon}) {
 		t.Error("omitted RC and explicit default RC produced different keys")
+	}
+}
+
+// TestTimingFieldsOutsideContentAddress is the observability regression
+// gate: the queue_usec/phase_usec timeline fields (and every other
+// wall-clock observation) live on JobStatus — the output side of the wire
+// protocol — and never reach key canonicalization. Two proofs: the content
+// address of a fixed submission is pinned to its pre-observability hex, and
+// the JobSpec input schema is checked field-by-field to share no JSON name
+// with the status timing fields, so a timing value can never round-trip
+// into an input.
+func TestTimingFieldsOutsideContentAddress(t *testing.T) {
+	_, c := testGraphAndCrawl(t, 5, 0.15)
+	spec := &JobSpec{Seed: 3, RC: 5, Crawl: crawlJSONBytes(t, c)}
+
+	// Golden pin: if a clock read (or any new field) sneaks into
+	// canonicalization, every cached result silently re-keys — this fails
+	// first. The constant was computed before the timing fields existed.
+	const golden = "b1b7dc721bd1ffcaa2d7709d4bf0a0c6a637f9b301bf7ea90d39b18cb451e33f"
+	if key := mustKey(t, spec); key != golden {
+		t.Fatalf("content address drifted: %s, want pinned %s", key, golden)
+	}
+	// Resolving the identical spec twice (wall-clock time has passed)
+	// yields the identical key.
+	if again := mustKey(t, spec); again != golden {
+		t.Fatalf("second resolution re-keyed to %s", again)
+	}
+
+	// Schema disjointness: no JobSpec input field may use a timing JSON
+	// name, or a copied status could smuggle timings into submissions.
+	timingNames := map[string]bool{"queue_usec": true, "phase_usec": true}
+	rt := reflect.TypeOf(JobSpec{})
+	for i := 0; i < rt.NumField(); i++ {
+		tag, _, _ := strings.Cut(rt.Field(i).Tag.Get("json"), ",")
+		if timingNames[tag] {
+			t.Errorf("JobSpec field %s uses timing JSON name %q", rt.Field(i).Name, tag)
+		}
+	}
+	// And the status side really does carry them, under exactly these
+	// names (omitempty: absent until measured).
+	b, err := json.Marshal(JobStatus{ID: "x", QueueUS: 12, PhaseUS: 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range timingNames {
+		if !bytes.Contains(b, []byte(`"`+name+`"`)) {
+			t.Errorf("JobStatus JSON missing %q: %s", name, b)
+		}
 	}
 }
 

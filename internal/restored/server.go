@@ -29,9 +29,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/graph", s.handleGraph)
 	mux.HandleFunc("GET /v1/jobs/{id}/props", s.handleProps)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	// Load-balancer endpoints, shared with graphd via internal/daemon.
 	mux.Handle("GET /v1/healthz", daemon.HealthzHandler(s.svc.Healthz))
-	mux.Handle("GET /v1/metrics", daemon.MetricsHandler(s.svc.Metrics))
+	mux.Handle("GET /v1/metrics", daemon.MetricsHandler(s.svc.Registry()))
 	return mux
 }
 
@@ -128,6 +129,28 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
 		graph.WriteEdgeList(w, g)
+	default:
+		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "unknown format "+format)
+	}
+}
+
+// handleTrace serves the job's pipeline timeline: the span list as JSON by
+// default, or the Chrome trace_event dump with ?format=chrome for flame
+// charts. Unlike the download endpoints it answers for any known job —
+// a running job shows its live partial timeline.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.svc.Job(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, ErrCodeUnknownJob, "")
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, job.Trace().JSON())
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		job.Trace().WriteChrome(w)
 	default:
 		writeErr(w, http.StatusBadRequest, ErrCodeBadRequest, "unknown format "+format)
 	}

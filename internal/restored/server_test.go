@@ -168,26 +168,130 @@ func TestHTTPHealthzAndMetrics(t *testing.T) {
 	}
 	metrics := make(map[string]int64)
 	for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue // HELP/TYPE exposition comments
+		}
 		name, val, ok := strings.Cut(line, " ")
 		if !ok {
 			t.Fatalf("bad metrics line %q", line)
 		}
-		n, err := strconv.ParseInt(val, 10, 64)
+		n, err := strconv.ParseFloat(val, 64)
 		if err != nil {
 			t.Fatalf("bad metrics value in %q", line)
 		}
-		metrics[name] = n
+		metrics[name] = int64(n)
 	}
 	for name, want := range map[string]int64{
-		"restored_jobs_submitted": 1,
-		"restored_jobs_completed": 1,
-		"restored_pipeline_runs":  1,
-		"restored_cache_entries":  1,
-		"restored_jobs_failed":    0,
+		"restored_jobs_submitted":                  1,
+		"restored_jobs_completed":                  1,
+		"restored_pipeline_runs":                   1,
+		"restored_cache_entries":                   1,
+		"restored_jobs_failed":                     0,
+		"restored_queue_usec_count":                1,
+		"restored_pipeline_usec_count":             1,
+		`restored_pipeline_usec_bucket{le="+Inf"}`: 1,
 	} {
 		if metrics[name] != want {
 			t.Errorf("%s = %d, want %d", name, metrics[name], want)
 		}
+	}
+}
+
+// TestHTTPJobTrace drives the trace endpoint: a finished job serves an
+// ordered span timeline covering the measured pipeline time (the
+// acceptance criterion), the Chrome dump is well-formed trace_event JSON,
+// and the status carries its wall-clock-only timeline fields.
+func TestHTTPJobTrace(t *testing.T) {
+	_, c := testGraphAndCrawl(t, 3, 0.1)
+	_, ts := startHTTP(t, Config{})
+	code, st := postJob(t, ts.URL, &JobSpec{Seed: 3, RC: 5, Crawl: crawlJSONBytes(t, c)})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	final := pollDone(t, ts.URL, st.ID)
+	if final.PhaseUS <= 0 {
+		t.Fatalf("done status phase_usec = %d, want > 0", final.PhaseUS)
+	}
+	if final.QueueUS < 0 {
+		t.Fatalf("done status queue_usec = %d", final.QueueUS)
+	}
+
+	code, body, _ := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("trace: HTTP %d: %s", code, body)
+	}
+	var tl struct {
+		Name    string `json:"name"`
+		TotalUS int64  `json:"total_usec"`
+		Spans   []struct {
+			Name    string `json:"name"`
+			StartUS int64  `json:"start_usec"`
+			DurUS   int64  `json:"dur_usec"`
+			Count   int64  `json:"count"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(body, &tl); err != nil {
+		t.Fatalf("trace JSON: %v", err)
+	}
+	got := make(map[string]bool, len(tl.Spans))
+	var phaseSum int64
+	for i, sp := range tl.Spans {
+		got[sp.Name] = true
+		if sp.StartUS < 0 || sp.DurUS < 0 {
+			t.Fatalf("span %q has negative timing", sp.Name)
+		}
+		if i > 0 && sp.StartUS < tl.Spans[i-1].StartUS {
+			t.Fatalf("span %q starts before its predecessor %q", sp.Name, tl.Spans[i-1].Name)
+		}
+		if sp.Count == 0 { // plain phase spans; timers aggregate across them
+			phaseSum += sp.DurUS
+		}
+	}
+	for _, want := range []string{
+		"queue", "cache_read", "estimate", "subgraph", "phase1_degree_vector",
+		"phase2_jdm", "phase3_construct", "phase4_rewire", "encode", "cache_write",
+	} {
+		if !got[want] {
+			t.Errorf("trace missing span %q", want)
+		}
+	}
+	if tl.TotalUS <= 0 || phaseSum > 2*tl.TotalUS {
+		t.Fatalf("trace total %dus does not cover phase sum %dus", tl.TotalUS, phaseSum)
+	}
+
+	// The Chrome dump decodes as a trace_event file with one event per span.
+	code, body, _ = getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/trace?format=chrome")
+	if code != http.StatusOK {
+		t.Fatalf("chrome trace: HTTP %d", code)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(body, &chrome); err != nil {
+		t.Fatalf("chrome trace JSON: %v", err)
+	}
+	if len(chrome.TraceEvents) != len(tl.Spans) || chrome.DisplayTimeUnit != "ms" {
+		t.Fatalf("chrome dump: %d events (want %d), unit %q",
+			len(chrome.TraceEvents), len(tl.Spans), chrome.DisplayTimeUnit)
+	}
+	for _, ev := range chrome.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("chrome event %q has phase %q, want X", ev.Name, ev.Ph)
+		}
+	}
+
+	// Unknown jobs 404; unknown formats 400.
+	code, _, _ = getBody(t, ts.URL+"/v1/jobs/"+strings.Repeat("0", 64)+"/trace")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown job trace: HTTP %d", code)
+	}
+	code, _, _ = getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/trace?format=yaml")
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad trace format: HTTP %d", code)
 	}
 }
 

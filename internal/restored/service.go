@@ -4,12 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"sgr/internal/core"
-	"sgr/internal/daemon"
 	"sgr/internal/graph"
+	"sgr/internal/obs"
 	"sgr/internal/oracle"
 	"sgr/internal/parallel"
 	"sgr/internal/sampling"
@@ -79,20 +78,34 @@ type Service struct {
 
 	wg sync.WaitGroup
 
-	submitted    atomic.Int64 // jobs accepted (new job ids)
-	deduped      atomic.Int64 // submissions answered by an existing job
-	completed    atomic.Int64 // jobs finished successfully
-	failed       atomic.Int64 // jobs finished with an error
-	pipelineRuns atomic.Int64 // full pipeline executions (cache misses)
-	cacheHits    atomic.Int64 // jobs answered from the result cache
-	remoteCrawls atomic.Int64 // server-side graphd crawls performed
-	running      atomic.Int64 // jobs currently executing
+	// Metrics. Everything observable about the service lives in one
+	// obs.Registry: counters and the running gauge are updated on the job
+	// path, live quantities (queue depth, table size, configuration) are
+	// GaugeFuncs read at scrape time, and the latency histograms feed the
+	// /v1/metrics quantile readouts. All of it is wall-clock/throughput
+	// telemetry — none of it feeds a job key or a result byte.
+	reg          *obs.Registry
+	submitted    *obs.Counter // jobs accepted (new job ids)
+	deduped      *obs.Counter // submissions answered by an existing job
+	completed    *obs.Counter // jobs finished successfully
+	failed       *obs.Counter // jobs finished with an error
+	pipelineRuns *obs.Counter // full pipeline executions (cache misses)
+	cacheHits    *obs.Counter // jobs answered from the result cache
+	remoteCrawls *obs.Counter // server-side graphd crawls performed
+	running      *obs.Gauge   // jobs currently executing
 
 	// Cumulative pipeline-phase wall clock (microseconds) over every
 	// pipeline execution (cache hits excluded — they run no phases).
 	// rewire ⊂ pipeline; the difference is phases 1-3 plus estimation.
-	pipelineUS atomic.Int64
-	rewireUS   atomic.Int64
+	// These predate the histograms below and stay registered under their
+	// original names so existing scrapes keep parsing.
+	pipelineUS *obs.Counter
+	rewireUS   *obs.Counter
+
+	queueUsec    *obs.Histogram // enqueue -> worker pickup
+	pipelineUsec *obs.Histogram // per-run pipeline wall clock
+	rewireUsec   *obs.Histogram // per-run phase-4 wall clock
+	encodeUsec   *obs.Histogram // per-run binary encode wall clock
 
 	// testBeforeRun, when set (tests only), runs at the top of every
 	// worker execution — a seam for stalling workers deterministically.
@@ -108,6 +121,13 @@ type Job struct {
 	spec *jobSpec
 	done chan struct{}
 
+	// trace is the job's pipeline timeline: a queue span opened at
+	// submission, then crawl/cache/pipeline-phase/encode spans recorded by
+	// the worker. Wall clock only — the job key and result bytes are
+	// computed before and without it.
+	trace    *obs.Trace
+	endQueue func()
+
 	mu       sync.Mutex
 	state    string
 	phase    string
@@ -115,7 +135,9 @@ type Job struct {
 	cached   bool
 	res      *Result
 	enqueued time.Time
+	started  time.Time
 	finished time.Time
+	queueUS  int64
 }
 
 // New starts a Service.
@@ -144,13 +166,48 @@ func New(cfg Config) (*Service, error) {
 		cache: cache,
 		queue: make(chan *Job, cfg.QueueDepth),
 		jobs:  make(map[string]*Job),
+		reg:   obs.NewRegistry(),
 	}
+	s.submitted = s.reg.Counter("restored_jobs_submitted", "jobs accepted (new job ids)")
+	s.deduped = s.reg.Counter("restored_jobs_deduped", "submissions answered by an existing job")
+	s.completed = s.reg.Counter("restored_jobs_completed", "jobs finished successfully")
+	s.failed = s.reg.Counter("restored_jobs_failed", "jobs finished with an error")
+	s.pipelineRuns = s.reg.Counter("restored_pipeline_runs", "full pipeline executions (cache misses)")
+	s.cacheHits = s.reg.Counter("restored_cache_hits", "jobs answered from the result cache")
+	s.remoteCrawls = s.reg.Counter("restored_remote_crawls", "server-side graphd crawls performed")
+	s.running = s.reg.Gauge("restored_jobs_running", "jobs currently executing")
+	s.pipelineUS = s.reg.Counter("restored_pipeline_usec_total", "cumulative pipeline wall clock, microseconds")
+	s.rewireUS = s.reg.Counter("restored_rewire_usec_total", "cumulative phase-4 rewiring wall clock, microseconds")
+	s.queueUsec = s.reg.Histogram("restored_queue_usec", "job queue latency: enqueue to worker pickup, microseconds")
+	s.pipelineUsec = s.reg.Histogram("restored_pipeline_usec", "pipeline execution wall clock per run, microseconds")
+	s.rewireUsec = s.reg.Histogram("restored_rewire_usec", "phase-4 rewiring wall clock per run, microseconds")
+	s.encodeUsec = s.reg.Histogram("restored_encode_usec", "binary graph encoding wall clock per run, microseconds")
+	s.reg.GaugeFunc("restored_jobs_queued", "queued-but-not-running jobs", func() int64 {
+		return int64(len(s.queue))
+	})
+	s.reg.GaugeFunc("restored_jobs_known", "jobs retained in the job table", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(len(s.jobs))
+	})
+	s.reg.GaugeFunc("restored_cache_entries", "result cache entries resident", func() int64 {
+		return int64(s.cache.Len())
+	})
+	s.reg.GaugeFunc("restored_workers", "configured pipeline worker-pool width", func() int64 {
+		return int64(s.cfg.Workers)
+	})
+	s.reg.GaugeFunc("restored_rewire_workers", "configured per-job rewiring parallelism", func() int64 {
+		return int64(s.cfg.RewireWorkers)
+	})
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s, nil
 }
+
+// Registry exposes the service metrics for /v1/metrics and exit logs.
+func (s *Service) Registry() *obs.Registry { return s.reg }
 
 // Close stops accepting submissions, drains the queue, and waits for the
 // workers to finish.
@@ -188,7 +245,7 @@ func (s *Service) Submit(spec *JobSpec) (job *Job, existing bool, err error) {
 		// a failed one is replaced by a fresh attempt below.
 		if !j.isFailed() {
 			s.mu.Unlock()
-			s.deduped.Add(1)
+			s.deduped.Inc()
 			return j, true, nil
 		}
 	}
@@ -198,7 +255,9 @@ func (s *Service) Submit(spec *JobSpec) (job *Job, existing bool, err error) {
 		done:     make(chan struct{}),
 		state:    StateQueued,
 		enqueued: time.Now(),
+		trace:    obs.NewTrace(shortKey(ps.key)),
 	}
+	j.endQueue = j.trace.Start("queue")
 	// Registering inside the lock is what makes identical concurrent
 	// submissions singleflight: every later submitter finds this entry.
 	// The queue reservation happens under the same lock so a full queue
@@ -207,7 +266,7 @@ func (s *Service) Submit(spec *JobSpec) (job *Job, existing bool, err error) {
 	case s.queue <- j:
 		s.jobs[ps.key] = j
 		s.mu.Unlock()
-		s.submitted.Add(1)
+		s.submitted.Inc()
 		return j, false, nil
 	default:
 		s.mu.Unlock()
@@ -235,11 +294,23 @@ func (s *Service) Job(id string) (*Job, bool) {
 // Done returns a channel closed when the job finishes (either way).
 func (j *Job) Done() <-chan struct{} { return j.done }
 
+// Trace returns the job's pipeline timeline. A Trace is safe for
+// concurrent use, so serving it while the job runs shows a live partial
+// timeline.
+func (j *Job) Trace() *obs.Trace { return j.trace }
+
 // Status snapshots the job for the wire.
 func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{ID: j.ID, State: j.state, Phase: j.phase, Cached: j.cached}
+	st.QueueUS = j.queueUS
+	switch {
+	case j.state == StateRunning:
+		st.PhaseUS = time.Since(j.started).Microseconds()
+	case !j.finished.IsZero() && !j.started.IsZero():
+		st.PhaseUS = j.finished.Sub(j.started).Microseconds()
+	}
 	if j.err != nil {
 		st.Error = j.err.Error()
 	}
@@ -260,6 +331,16 @@ func (j *Job) Result() (*Result, error) {
 		return nil, fmt.Errorf("restored: job %s not finished", j.ID)
 	}
 	return j.res, nil
+}
+
+// startRun marks the worker pickup: the queue span ends, the queue
+// latency freezes, and the execution clock starts.
+func (j *Job) startRun() {
+	j.endQueue()
+	j.mu.Lock()
+	j.started = time.Now()
+	j.queueUS = j.started.Sub(j.enqueued).Microseconds()
+	j.mu.Unlock()
 }
 
 func (j *Job) setRunning(phase string) {
@@ -317,12 +398,16 @@ func (s *Service) run(j *Job) {
 	if s.testBeforeRun != nil {
 		s.testBeforeRun(j)
 	}
+	j.startRun()
+	s.queueUsec.Observe(j.queueUS)
 	crawl, key := j.spec.crawl, j.ID
 	if j.spec.graphd != nil {
 		j.setRunning(PhaseCrawling)
+		endSpan := j.trace.Start("crawl")
 		c, canon, err := s.crawlGraphd(j.spec)
+		endSpan()
 		if err != nil {
-			s.failed.Add(1)
+			s.failed.Inc()
 			s.cfg.Logf("job %s: crawl failed: %v", shortKey(j.ID), err)
 			j.fail(err)
 			return
@@ -332,69 +417,85 @@ func (s *Service) run(j *Job) {
 		// of the identical crawl share one cache line.
 		key = resultKey(canon, j.spec)
 	}
-	if res, ok := s.cache.Get(key); ok {
-		s.cacheHits.Add(1)
-		s.completed.Add(1)
+	endSpan := j.trace.Start("cache_read")
+	res, ok := s.cache.Get(key)
+	endSpan()
+	if ok {
+		s.cacheHits.Inc()
+		s.completed.Inc()
 		s.cfg.Logf("job %s: served from cache", shortKey(j.ID))
 		j.finish(res, true)
 		return
 	}
 
 	j.setRunning(PhaseRestoring)
-	s.pipelineRuns.Add(1)
+	s.pipelineRuns.Inc()
 	opts := core.Options{
 		RC:               j.spec.rc,
 		SkipRewiring:     j.spec.skip,
 		ForbidDegenerate: j.spec.forbid,
 		RewireWorkers:    s.cfg.RewireWorkers,
+		// The job's timeline doubles as the pipeline trace: core records
+		// one span per phase into it. Wall clock only — byte-identical
+		// output with or without it.
+		Trace: j.trace,
 		// The canonical seeded stream — the byte-identical-to-cmd/restore
 		// contract.
 		Rand: core.PipelineRand(j.spec.seed),
 	}
 	var (
-		res *core.Result
-		err error
+		pres *core.Result
+		err  error
 	)
 	switch j.spec.method {
 	case MethodGjoka:
-		res, err = core.RestoreGjoka(crawl, opts)
+		pres, err = core.RestoreGjoka(crawl, opts)
 	default:
-		res, err = core.Restore(crawl, opts)
+		pres, err = core.Restore(crawl, opts)
 	}
 	if err != nil {
-		s.failed.Add(1)
+		s.failed.Inc()
 		s.cfg.Logf("job %s: pipeline failed: %v", shortKey(j.ID), err)
 		j.fail(err)
 		return
 	}
-	s.pipelineUS.Add(res.TotalTime.Microseconds())
-	s.rewireUS.Add(res.RewireTime.Microseconds())
+	s.pipelineUS.Add(pres.TotalTime.Microseconds())
+	s.rewireUS.Add(pres.RewireTime.Microseconds())
+	s.pipelineUsec.Observe(pres.TotalTime.Microseconds())
+	s.rewireUsec.Observe(pres.RewireTime.Microseconds())
 
 	j.setRunning(PhaseEncoding)
-	bin, err := graph.AppendBinary(nil, res.Graph)
+	endSpan = j.trace.Start("encode")
+	encStart := time.Now()
+	bin, err := graph.AppendBinary(nil, pres.Graph)
+	s.encodeUsec.Observe(time.Since(encStart).Microseconds())
+	endSpan()
 	if err != nil {
-		s.failed.Add(1)
+		s.failed.Inc()
 		j.fail(err)
 		return
 	}
 	result := &Result{
 		GraphBin: bin,
 		Meta: ResultMeta{
-			Nodes:          res.Graph.N(),
-			Edges:          res.Graph.M(),
-			NumAdded:       res.NumAdded,
-			RewireAccepted: res.RewireStats.Accepted,
-			RewireAttempts: res.RewireStats.Attempts,
-			TotalMS:        float64(res.TotalTime.Microseconds()) / 1e3,
-			RewireMS:       float64(res.RewireTime.Microseconds()) / 1e3,
+			Nodes:          pres.Graph.N(),
+			Edges:          pres.Graph.M(),
+			NumAdded:       pres.NumAdded,
+			RewireAccepted: pres.RewireStats.Accepted,
+			RewireAttempts: pres.RewireStats.Attempts,
+			TotalMS:        float64(pres.TotalTime.Microseconds()) / 1e3,
+			RewireMS:       float64(pres.RewireTime.Microseconds()) / 1e3,
 		},
-		g: res.Graph,
+		g: pres.Graph,
 	}
-	if err := s.cache.Put(key, result); err != nil {
+	endSpan = j.trace.Start("cache_write")
+	err = s.cache.Put(key, result)
+	endSpan()
+	if err != nil {
 		// The result survives in memory; only persistence degraded.
 		s.cfg.Logf("job %s: cache persist failed: %v", shortKey(j.ID), err)
 	}
-	s.completed.Add(1)
+	s.completed.Inc()
 	s.cfg.Logf("job %s: restored n=%d m=%d in %.0fms", shortKey(j.ID),
 		result.Meta.Nodes, result.Meta.Edges, result.Meta.TotalMS)
 	j.finish(result, false)
@@ -403,7 +504,7 @@ func (s *Service) run(j *Job) {
 // crawlGraphd performs the server-side crawl of a graphd job through
 // oracle.Client — the exact crawl `crawl -url -seed` would record.
 func (s *Service) crawlGraphd(ps *jobSpec) (*sampling.Crawl, []byte, error) {
-	s.remoteCrawls.Add(1)
+	s.remoteCrawls.Inc()
 	client, err := oracle.NewClient(oracle.ClientConfig{
 		BaseURL:    ps.graphd.URL,
 		APIKey:     ps.graphd.APIKey,
@@ -441,10 +542,10 @@ func (s *Service) PropsWorkers() int { return s.cfg.PropsWorkers }
 
 // PipelineRuns reports how many jobs ran the full pipeline — the counter
 // the cache-hit and singleflight guarantees are asserted against.
-func (s *Service) PipelineRuns() int64 { return s.pipelineRuns.Load() }
+func (s *Service) PipelineRuns() int64 { return s.pipelineRuns.Value() }
 
 // CacheHits reports jobs answered from the result cache.
-func (s *Service) CacheHits() int64 { return s.cacheHits.Load() }
+func (s *Service) CacheHits() int64 { return s.cacheHits.Value() }
 
 // Healthz describes the service for the liveness probe.
 func (s *Service) Healthz() map[string]any {
@@ -455,30 +556,6 @@ func (s *Service) Healthz() map[string]any {
 		"jobs":    jobs,
 		"workers": s.cfg.Workers,
 		"queued":  len(s.queue),
-	}
-}
-
-// Metrics returns the /v1/metrics snapshot.
-func (s *Service) Metrics() []daemon.Metric {
-	s.mu.Lock()
-	jobs := len(s.jobs)
-	s.mu.Unlock()
-	return []daemon.Metric{
-		{Name: "restored_jobs_submitted", Value: s.submitted.Load()},
-		{Name: "restored_jobs_deduped", Value: s.deduped.Load()},
-		{Name: "restored_jobs_completed", Value: s.completed.Load()},
-		{Name: "restored_jobs_failed", Value: s.failed.Load()},
-		{Name: "restored_jobs_running", Value: s.running.Load()},
-		{Name: "restored_jobs_queued", Value: int64(len(s.queue))},
-		{Name: "restored_jobs_known", Value: int64(jobs)},
-		{Name: "restored_pipeline_runs", Value: s.pipelineRuns.Load()},
-		{Name: "restored_cache_hits", Value: s.cacheHits.Load()},
-		{Name: "restored_cache_entries", Value: int64(s.cache.Len())},
-		{Name: "restored_remote_crawls", Value: s.remoteCrawls.Load()},
-		{Name: "restored_workers", Value: int64(s.cfg.Workers)},
-		{Name: "restored_rewire_workers", Value: int64(s.cfg.RewireWorkers)},
-		{Name: "restored_pipeline_usec_total", Value: s.pipelineUS.Load()},
-		{Name: "restored_rewire_usec_total", Value: s.rewireUS.Load()},
 	}
 }
 

@@ -209,7 +209,7 @@ func TestConcurrentIdenticalSubmissionsSingleflight(t *testing.T) {
 	if got := svc.PipelineRuns(); got != 1 {
 		t.Fatalf("pipeline ran %d times for %d identical submissions, want exactly 1", got, crawlers)
 	}
-	if got := svc.Metrics(); got == nil {
+	if got := svc.Registry().Snapshot(); len(got) == 0 {
 		t.Fatal("metrics unavailable")
 	}
 }

@@ -1,5 +1,24 @@
 # lib.sh — helpers shared by the e2e scripts (source, do not execute).
 
+# check_prometheus FILE
+#
+# Validates a /v1/metrics scrape as Prometheus text exposition format
+# 0.0.4: every line is a `# HELP`/`# TYPE` comment or a
+# `name[{labels}] value` sample with a numeric value, and the scrape
+# carries at least one sample. Unparseable lines are printed and fail the
+# check — the scrape contract both daemons promise.
+check_prometheus() {
+  awk '
+    /^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* / { next }
+    /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$/ { n++; next }
+    { print "unparseable metrics line: " $0 > "/dev/stderr"; bad = 1 }
+    END {
+      if (bad) exit 1
+      if (n == 0) { print "no samples in scrape" > "/dev/stderr"; exit 1 }
+    }
+  ' "$1"
+}
+
 # wait_for_addr_file FILE PID LOG [TRIES]
 #
 # Bounded wait for a daemon to publish its -addr-file. Fails fast with the

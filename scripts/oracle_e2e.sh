@@ -55,6 +55,18 @@ echo "remote and in-memory crawls byte-identical"
 curl -fsS "$url/v1/metrics" | grep -Eq '^graphd_active_clients [1-9]' \
   || { echo "metrics did not count the crawler as an active client"; exit 1; }
 
+echo "== Prometheus exposition + request latency histogram =="
+curl -fsS "$url/v1/metrics" > "$tmp/metrics.txt"
+check_prometheus "$tmp/metrics.txt"
+usec_count=$(awk '$1 == "graphd_request_usec_count" {print $2}' "$tmp/metrics.txt")
+[ -n "$usec_count" ] && [ "$usec_count" -gt 0 ] \
+  || { echo "graphd_request_usec histogram is empty"; cat "$tmp/metrics.txt"; exit 1; }
+grep -Eq '^graphd_request_usec_p50 [0-9]+$' "$tmp/metrics.txt" \
+  || { echo "missing graphd_request_usec_p50 readout"; exit 1; }
+grep -Eq '^graphd_request_usec_p99 [0-9]+$' "$tmp/metrics.txt" \
+  || { echo "missing graphd_request_usec_p99 readout"; exit 1; }
+echo "exposition valid, request_usec count=$usec_count with p50/p99"
+
 echo "== interrupted crawl resumes from journal without re-spending =="
 # A shorter run of the same seeded walk is a strict prefix: its journal
 # must satisfy the full rerun's prefix, so the resume fetches only the
@@ -62,8 +74,10 @@ echo "== interrupted crawl resumes from journal without re-spending =="
 "$tmp/crawl" -url "$url" -fraction 0.03 -seed 3 -journal "$tmp/resume.journal" \
   -out /dev/null 2>"$tmp/short.err"
 "$tmp/crawl" -url "$url" -fraction 0.1 -seed 3 -journal "$tmp/resume.journal" \
-  -save-crawl "$tmp/resumed.json" -out /dev/null 2>"$tmp/resume.err"
+  -stats -save-crawl "$tmp/resumed.json" -out /dev/null 2>"$tmp/resume.err"
 grep -E 'oracle: [0-9]+ nodes fetched' "$tmp/resume.err"
+grep -E 'oracle stats: queries=[0-9]+ p50=' "$tmp/resume.err" \
+  || { echo "crawl -stats printed no transport statistics"; cat "$tmp/resume.err"; exit 1; }
 replayed=$(sed -nE 's/.*\(([0-9]+) replayed from journal\).*/\1/p' "$tmp/resume.err")
 [ "$replayed" -gt 0 ] || { echo "resume replayed nothing"; exit 1; }
 cmp "$tmp/resumed.json" "$tmp/mem.json"

@@ -11,7 +11,10 @@
 #   4. round-trip the binary download through gengraph -from-binary,
 #   5. resubmit the identical job (plus a whitespace-respelled variant) and
 #      assert via the daemon's counters that the pipeline ran exactly once,
-#   6. check the shared /v1/healthz and /v1/metrics endpoints.
+#   6. check the shared /v1/healthz and /v1/metrics endpoints: valid
+#      Prometheus exposition with populated pipeline latency histograms,
+#   7. fetch the job's trace (ordered spans + chrome dump) and the
+#      queue_usec/phase_usec timeline fields of its status.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 . scripts/lib.sh
@@ -99,6 +102,33 @@ entries=$(metric restored_cache_entries)
 [ "$deduped" -ge 2 ] || { echo "deduped=$deduped, want >= 2"; cat "$tmp/metrics.txt"; exit 1; }
 [ "$entries" = 1 ] || { echo "cache entries=$entries, want 1"; cat "$tmp/metrics.txt"; exit 1; }
 echo "counters: pipeline_runs=$runs deduped=$deduped cache_entries=$entries"
+
+echo "== Prometheus exposition + pipeline latency histograms =="
+check_prometheus "$tmp/metrics.txt"
+usec_count=$(metric restored_pipeline_usec_count)
+[ -n "$usec_count" ] && [ "$usec_count" -ge 1 ] \
+  || { echo "restored_pipeline_usec histogram is empty"; cat "$tmp/metrics.txt"; exit 1; }
+grep -Eq '^restored_pipeline_usec_p50 [0-9]+$' "$tmp/metrics.txt" \
+  || { echo "missing restored_pipeline_usec_p50 readout"; exit 1; }
+grep -Eq '^restored_pipeline_usec_p99 [0-9]+$' "$tmp/metrics.txt" \
+  || { echo "missing restored_pipeline_usec_p99 readout"; exit 1; }
+echo "exposition valid, pipeline_usec count=$usec_count with p50/p99"
+
+echo "== job trace: ordered spans + chrome dump =="
+curl -fsS "$url/v1/jobs/$id/trace" > "$tmp/trace.json"
+jq -e '.spans | length > 0' "$tmp/trace.json" >/dev/null \
+  || { echo "trace has no spans"; cat "$tmp/trace.json"; exit 1; }
+jq -e '[.spans[].start_usec] == ([.spans[].start_usec] | sort)' "$tmp/trace.json" >/dev/null \
+  || { echo "trace spans are not ordered"; cat "$tmp/trace.json"; exit 1; }
+for span in queue estimate phase4_rewire encode cache_write; do
+  jq -e --arg s "$span" 'any(.spans[]; .name == $s)' "$tmp/trace.json" >/dev/null \
+    || { echo "trace missing span $span"; cat "$tmp/trace.json"; exit 1; }
+done
+curl -fsS "$url/v1/jobs/$id/trace?format=chrome" | jq -e '.traceEvents | length > 0' >/dev/null \
+  || { echo "chrome trace dump is empty"; exit 1; }
+jq -e '.queue_usec >= 0 and .phase_usec > 0' <(curl -fsS "$url/v1/jobs/$id") >/dev/null \
+  || { echo "job status lacks queue_usec/phase_usec timeline"; exit 1; }
+echo "trace: $(jq '.spans | length' "$tmp/trace.json") ordered spans over $(jq .total_usec "$tmp/trace.json")us"
 
 kill "$restored_pid"
 wait "$restored_pid" 2>/dev/null || true

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# trace_demo.sh — `make trace-demo`: produce a pipeline flame chart in two
+# commands. Generates a small graph, crawls it, restores with -trace, and
+# leaves a Chrome trace_event file to load at chrome://tracing (or
+# https://ui.perfetto.dev). The trace is pure observability output: the
+# restored graph is byte-identical with and without it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${TRACE_OUT:-trace.json}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== building =="
+go build -o "$tmp/gengraph" ./cmd/gengraph
+go build -o "$tmp/crawl" ./cmd/crawl
+go build -o "$tmp/restore" ./cmd/restore
+
+echo "== generate + crawl =="
+"$tmp/gengraph" -dataset anybeat -scale 0.05 -seed 3 -out "$tmp/g.edges"
+"$tmp/crawl" -graph "$tmp/g.edges" -method rw -fraction 0.1 -seed 3 \
+  -save-crawl "$tmp/crawl.json" -out /dev/null
+
+echo "== traced restoration =="
+"$tmp/restore" -crawl "$tmp/crawl.json" -rc 5 -seed 3 -compare=false \
+  -trace "$out" -out /dev/null
+
+echo "trace demo: load $out in chrome://tracing or ui.perfetto.dev"
