@@ -10,7 +10,7 @@ BENCHTIME ?= 5x
 # anything (queries/s especially).
 ORACLE_BENCHTIME ?= 2000x
 
-.PHONY: build test race bench bench-json bench-gate bench-oracle-json bench-props-json bench-restored-json oracle-e2e restored-e2e trace-demo lint fuzz ci
+.PHONY: build test race bench bench-json bench-gate bench-oracle-json bench-props-json bench-restored-json oracle-e2e restored-e2e chaos trace-demo lint fuzz ci
 
 build:
 	$(GO) build ./...
@@ -89,6 +89,13 @@ oracle-e2e:
 restored-e2e:
 	bash scripts/restored_e2e.sh
 
+# Crash-safety acceptance gate: SIGKILL a race-enabled restored mid-job,
+# restart it on the same cache dir, require the WAL-replayed job to finish
+# byte-identical to the offline restore; then cancellation over the wire
+# and a crawl through graphd with every fault mode enabled.
+chaos:
+	bash scripts/chaos_e2e.sh
+
 # Pipeline flame chart in one command: generate, crawl, restore with
 # -trace, and leave a Chrome trace_event file (default trace.json, override
 # with TRACE_OUT=...) to load at chrome://tracing or ui.perfetto.dev.
@@ -114,5 +121,6 @@ fuzz:
 	$(GO) test ./internal/core -run='^FuzzFenwick$$' -fuzz='^FuzzFenwick$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sampling -run='^FuzzReadCrawlJSON$$' -fuzz='^FuzzReadCrawlJSON$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/restored -run='^FuzzCacheKeyCanonicalization$$' -fuzz='^FuzzCacheKeyCanonicalization$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/restored -run='^FuzzJobJournal$$' -fuzz='^FuzzJobJournal$$' -fuzztime=$(FUZZTIME)
 
-ci: lint build test race fuzz bench oracle-e2e restored-e2e
+ci: lint build test race fuzz bench oracle-e2e restored-e2e chaos

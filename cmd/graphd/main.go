@@ -9,6 +9,7 @@
 //	graphd -graph g.edges -addr 127.0.0.1:8080
 //	graphd -dataset anybeat -scale 0.1 -addr 127.0.0.1:0 -addr-file addr.txt
 //	graphd -graph g.edges -rate 100 -burst 20 -latency 5ms -jitter 5ms -error-rate 0.01
+//	graphd -graph g.edges -fault-truncate 0.05 -fault-corrupt 0.05 -fault-reset 0.05 -fault-stall 0.02 -fault-stall-delay 100ms
 package main
 
 import (
@@ -48,6 +49,14 @@ func main() {
 		errorRate = flag.Float64("error-rate", 0, "probability of answering a request with a transient 503")
 		faultSeed = flag.Uint64("fault-seed", 1, "seed for the latency-jitter/error fault stream")
 
+		faultTruncate   = flag.Float64("fault-truncate", 0, "probability of a truncated 200 body (connection cut mid-response)")
+		faultCorrupt    = flag.Float64("fault-corrupt", 0, "probability of a 200 body that is not valid JSON")
+		faultStall      = flag.Float64("fault-stall", 0, "probability of stalling a response before serving it")
+		faultStallDelay = flag.Duration("fault-stall-delay", oracle.DefaultStallDelay, "stall duration for -fault-stall")
+		faultReset      = flag.Float64("fault-reset", 0, "probability of dropping the connection with no response")
+
+		drain = flag.Duration("drain", daemon.DefaultDrainTimeout, "graceful-drain window for in-flight requests on shutdown")
+
 		private         = flag.String("private", "", "comma-separated node ids served as private")
 		privateFraction = flag.Float64("private-fraction", 0, "additionally mark this fraction of nodes private")
 		privateSeed     = flag.Uint64("private-seed", 1, "seed for -private-fraction selection")
@@ -60,6 +69,21 @@ func main() {
 	}
 	if *errorRate < 0 || *errorRate >= 1 {
 		log.Fatalf("-error-rate must be in [0,1), got %v", *errorRate)
+	}
+	faults := oracle.FaultPlan{
+		Truncate:   *faultTruncate,
+		Corrupt:    *faultCorrupt,
+		Stall:      *faultStall,
+		StallDelay: *faultStallDelay,
+		Reset:      *faultReset,
+	}
+	for _, r := range []float64{faults.Truncate, faults.Corrupt, faults.Stall, faults.Reset} {
+		if r < 0 || r >= 1 {
+			log.Fatalf("fault rates must be in [0,1), got %v", r)
+		}
+	}
+	if total := *errorRate + faults.Truncate + faults.Corrupt + faults.Stall + faults.Reset; total >= 1 {
+		log.Fatalf("fault rates must sum below 1, got %v", total)
 	}
 
 	var g *graph.Graph
@@ -89,6 +113,7 @@ func main() {
 		Jitter:    *jitter,
 		ErrorRate: *errorRate,
 		FaultSeed: *faultSeed,
+		Faults:    faults,
 		Private:   priv,
 	})
 
@@ -110,7 +135,7 @@ func main() {
 		mux.Handle("/", handler)
 		handler = mux
 	}
-	if err := daemon.Serve(ln, handler, log.Printf); err != nil {
+	if err := daemon.Serve(ln, handler, daemon.ServeConfig{Logf: log.Printf, DrainTimeout: *drain}); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("served %d neighbor queries (%d rate-limited, %d injected faults, %d clients)",

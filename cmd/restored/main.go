@@ -11,8 +11,14 @@
 //
 // Submit work with POST /v1/jobs (an inline crawl JSON, an uploaded crawl
 // journal, or a graphd URL to crawl server-side), poll GET /v1/jobs/{id},
-// download GET /v1/jobs/{id}/graph (binary SGRB; ?format=edgelist for
-// text) and /props. /v1/healthz and /v1/metrics match graphd's.
+// cancel with DELETE /v1/jobs/{id}, download GET /v1/jobs/{id}/graph
+// (binary SGRB; ?format=edgelist for text) and /props. /v1/healthz and
+// /v1/metrics match graphd's.
+//
+// With -cache-dir set the daemon is crash-safe: accepted jobs are logged
+// to a write-ahead journal before they are queued, and a restart replays
+// unfinished jobs against the same cache dir — kill -9 mid-pipeline loses
+// nothing, and recovered results stay byte-identical to offline restore.
 package main
 
 import (
@@ -34,10 +40,11 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:8090", "listen address (port 0 picks a free port)")
 		addrFile = flag.String("addr-file", "", "write the bound address here once listening (for scripts)")
 		workers  = flag.Int("workers", parallel.DefaultWorkers(), "restoration worker pool width")
-		queue    = flag.Int("queue", 64, "bounded job-queue depth (full queue answers 503)")
-		cacheDir = flag.String("cache-dir", "", "persist the content-addressed result cache here")
+		queue    = flag.Int("queue", 64, "bounded job-queue depth (full queue answers 429 + Retry-After)")
+		cacheDir = flag.String("cache-dir", "", "persist the content-addressed result cache and the job WAL here")
 		propsW   = flag.Int("props-workers", 1, "worker bound for /props property computation (fixed value keeps results deterministic)")
 		rewireW  = flag.Int("rewire-workers", 1, "per-job worker bound for phase-4 rewiring (output is byte-identical at any value)")
+		drain    = flag.Duration("drain", daemon.DefaultDrainTimeout, "graceful-drain window for in-flight requests on shutdown")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (live-profiling opt-in)")
 	)
 	flag.Parse()
@@ -73,7 +80,7 @@ func main() {
 		mux.Handle("/", handler)
 		handler = mux
 	}
-	if err := daemon.Serve(ln, handler, log.Printf); err != nil {
+	if err := daemon.Serve(ln, handler, daemon.ServeConfig{Logf: log.Printf, DrainTimeout: *drain}); err != nil {
 		log.Fatal(err)
 	}
 	svc.Close()

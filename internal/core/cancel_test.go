@@ -1,0 +1,65 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"sgr/internal/graph"
+)
+
+// TestRestoreContextCancellation pins the cooperative-cancellation
+// contract of the pipeline: a context only ever aborts a run — it never
+// perturbs one that completes — and an abort surfaces the context's cause
+// so callers can classify it.
+func TestRestoreContextCancellation(t *testing.T) {
+	g := testOriginal(t, 21)
+	c := crawlOn(t, g, 0.15, 21)
+
+	// A live context is invisible: bytes and stats are identical to a
+	// context-free run at the same seed.
+	base, err := Restore(c, Options{RC: 5, Rand: PipelineRand(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := Restore(c, Options{RC: 5, Rand: PipelineRand(9), Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.Equal(base.Graph, withCtx.Graph) {
+		t.Fatal("a live context changed the restored graph")
+	}
+	if base.RewireStats != withCtx.RewireStats || base.NumAdded != withCtx.NumAdded {
+		t.Fatalf("a live context changed the stats: %+v vs %+v", withCtx.RewireStats, base.RewireStats)
+	}
+
+	// A cancelled context aborts before any phase runs, and the abort
+	// error wraps the cancellation cause.
+	cause := errors.New("operator said stop")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	res, err := Restore(c, Options{RC: 5, Rand: PipelineRand(9), Ctx: ctx})
+	if err == nil {
+		t.Fatal("restore with a cancelled context succeeded")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("abort error %v does not wrap the cause %v", err, cause)
+	}
+	if res != nil && res.Graph != nil {
+		t.Fatal("aborted restore leaked a partial graph")
+	}
+
+	// Same for a cause-less cancel (context.Canceled) and an expired
+	// deadline (context.DeadlineExceeded) — the two stdlib shapes.
+	plain, cancelPlain := context.WithCancel(context.Background())
+	cancelPlain()
+	if _, err := Restore(c, Options{RC: 5, Rand: PipelineRand(9), Ctx: plain}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("plain cancel surfaced %v, want context.Canceled", err)
+	}
+	expired, cancelExpired := context.WithTimeout(context.Background(), 0)
+	defer cancelExpired()
+	<-expired.Done()
+	if _, err := Restore(c, Options{RC: 5, Rand: PipelineRand(9), Ctx: expired}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline surfaced %v, want context.DeadlineExceeded", err)
+	}
+}

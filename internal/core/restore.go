@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"time"
@@ -14,6 +15,14 @@ import (
 
 // Options configures a restoration run.
 type Options struct {
+	// Ctx, when set, is polled cooperatively at pipeline phase boundaries
+	// (and, through the sharded engine, at rewiring round boundaries): a
+	// cancelled or expired context aborts the run with an error wrapping
+	// the cancellation cause. The checks are reads of the context only —
+	// they touch no RNG, no map, no float — so a run that completes does
+	// so byte-identical to one with no context at all; cancellation can
+	// only abort a result, never change one.
+	Ctx context.Context
 	// RC is the rewiring-attempt coefficient (Sec. V-E; paper default 500).
 	// Zero selects dkseries.DefaultRC.
 	RC float64
@@ -45,6 +54,21 @@ func (o Options) rc() float64 {
 		return dkseries.DefaultRC
 	}
 	return o.RC
+}
+
+// ctxErr is the pipeline's cooperative cancellation poll: nil while the
+// run may continue, an error wrapping the cancellation cause once
+// Options.Ctx is done. A nil context never aborts.
+func (o Options) ctxErr() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-o.Ctx.Done():
+		return fmt.Errorf("core: restoration aborted: %w", context.Cause(o.Ctx))
+	default:
+		return nil
+	}
 }
 
 // PipelineRand returns the canonical RNG for a seeded restoration pipeline:
@@ -162,6 +186,9 @@ func runWith(c *sampling.Crawl, est *estimate.Estimates, opts Options, useSubgra
 		return nil, fmt.Errorf("core: Options.Rand is required")
 	}
 	start := time.Now() //sgr:nondet-ok timing metadata for Result.TotalTime; never feeds graph bytes or the result key
+	if err := opts.ctxErr(); err != nil {
+		return nil, err
+	}
 	if est == nil {
 		endSpan := opts.Trace.Start("estimate")
 		w, err := estimate.NewWalk(c)
@@ -180,6 +207,9 @@ func runWith(c *sampling.Crawl, est *estimate.Estimates, opts Options, useSubgra
 	}
 
 	// Phase 1: target degree vector.
+	if err := opts.ctxErr(); err != nil {
+		return nil, err
+	}
 	endSpan := opts.Trace.Start("phase1_degree_vector")
 	dvs, targetDeg, err := buildTargetDegreeVector(est, sub, opts.Rand)
 	if err != nil {
@@ -191,6 +221,9 @@ func runWith(c *sampling.Crawl, est *estimate.Estimates, opts Options, useSubgra
 	var subGraph *graph.Graph
 	if sub != nil {
 		subGraph = sub.Graph
+	}
+	if err := opts.ctxErr(); err != nil {
+		return nil, err
 	}
 	endSpan = opts.Trace.Start("phase2_jdm")
 	jdm, err := buildTargetJDM(est, dvs.dv, subGraph, targetDeg, opts.Rand)
@@ -205,6 +238,9 @@ func runWith(c *sampling.Crawl, est *estimate.Estimates, opts Options, useSubgra
 	if sub != nil {
 		base = sub.Graph
 		baseTarget = targetDeg
+	}
+	if err := opts.ctxErr(); err != nil {
+		return nil, err
 	}
 	endSpan = opts.Trace.Start("phase3_construct")
 	built, err := dkseries.Build(base, baseTarget, dvs.dv, jdm, opts.Rand)
@@ -226,6 +262,9 @@ func runWith(c *sampling.Crawl, est *estimate.Estimates, opts Options, useSubgra
 	if opts.SkipRewiring {
 		res.Graph = built.Graph
 	} else {
+		if err := opts.ctxErr(); err != nil {
+			return nil, err
+		}
 		rwStart := time.Now() //sgr:nondet-ok timing metadata for Result.RewireTime; never feeds graph bytes or the result key
 		endSpan = opts.Trace.Start("phase4_rewire")
 		var fixed []graph.Edge
@@ -246,10 +285,17 @@ func runWith(c *sampling.Crawl, est *estimate.Estimates, opts Options, useSubgra
 			ForbidDegenerate: opts.ForbidDegenerate,
 			Workers:          opts.RewireWorkers,
 			Trace:            opts.Trace,
+			Ctx:              opts.Ctx,
 		})
+		endSpan()
+		// The engine aborts between rounds when the context fires, handing
+		// back a valid but partially rewired graph. That graph must never
+		// leave the pipeline: re-check the context and discard it.
+		if err := opts.ctxErr(); err != nil {
+			return nil, err
+		}
 		res.Graph = g
 		res.RewireStats = stats
-		endSpan()
 		res.RewireTime = time.Since(rwStart) //sgr:nondet-ok timing metadata; never feeds graph bytes or the result key
 	}
 	res.TotalTime = time.Since(start) //sgr:nondet-ok timing metadata; never feeds graph bytes or the result key

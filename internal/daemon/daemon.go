@@ -3,7 +3,8 @@
 // plain-text /v1/metrics), the atomic address-file handshake that lets
 // scripts bind random ports race-free, and graceful signal-driven shutdown.
 // Keeping it in one place guarantees the daemons stay operationally
-// interchangeable — one probe configuration, one metrics scrape format.
+// interchangeable — one probe configuration, one metrics scrape format,
+// one slowloris posture.
 package daemon
 
 import (
@@ -71,12 +72,88 @@ func WriteAddrFile(path, addr string) error {
 	return os.Rename(tmp, path)
 }
 
+// Serve timeouts applied when the corresponding ServeConfig field is zero.
+const (
+	// DefaultDrainTimeout bounds the graceful shutdown: in-flight requests
+	// get this long to finish after SIGINT/SIGTERM before the server is
+	// torn down under them.
+	DefaultDrainTimeout = 5 * time.Second
+	// DefaultReadHeaderTimeout caps how long a connection may dribble its
+	// request header — the classic slowloris hold. Headers are tiny;
+	// anything slower than this is an attack or a dead peer.
+	DefaultReadHeaderTimeout = 10 * time.Second
+	// DefaultReadTimeout caps the whole request read including the body.
+	// It is sized for the largest legitimate upload (a maxSpecBytes crawl
+	// on a slow link), not for interactive latency.
+	DefaultReadTimeout = 5 * time.Minute
+	// DefaultIdleTimeout reclaims keep-alive connections that have gone
+	// quiet between requests.
+	DefaultIdleTimeout = 2 * time.Minute
+)
+
+// ServeConfig tunes Serve. The zero value keeps the historical drain
+// window (5s) and adds the default HTTP timeouts — previously the
+// daemons ran with no read/idle timeouts at all, leaving every open
+// connection free to hold a goroutine forever.
+type ServeConfig struct {
+	// Logf reports lifecycle events (log.Printf-shaped; nil is silent).
+	Logf func(format string, args ...any)
+	// DrainTimeout bounds the graceful shutdown after a signal (default
+	// DefaultDrainTimeout). Operators sizing it should cover one worst-case
+	// in-flight request — typically a restoration download, not a pipeline
+	// run (jobs are asynchronous and survive a drain via the job WAL).
+	DrainTimeout time.Duration
+	// ReadHeaderTimeout, ReadTimeout and IdleTimeout are installed on the
+	// http.Server verbatim (defaults above when zero; negative disables
+	// the corresponding timeout).
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	IdleTimeout       time.Duration
+}
+
+func (cfg ServeConfig) withDefaults() ServeConfig {
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
+	}
+	if cfg.ReadHeaderTimeout == 0 {
+		cfg.ReadHeaderTimeout = DefaultReadHeaderTimeout
+	}
+	if cfg.ReadTimeout == 0 {
+		cfg.ReadTimeout = DefaultReadTimeout
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = DefaultIdleTimeout
+	}
+	return cfg
+}
+
+// newHTTPServer builds the http.Server Serve runs — extracted so tests can
+// assert the timeout posture without binding sockets or raising signals.
+func newHTTPServer(handler http.Handler, cfg ServeConfig) *http.Server {
+	clamp := func(d time.Duration) time.Duration {
+		if d < 0 {
+			return 0 // negative config = explicitly disabled
+		}
+		return d
+	}
+	return &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: clamp(cfg.ReadHeaderTimeout),
+		ReadTimeout:       clamp(cfg.ReadTimeout),
+		IdleTimeout:       clamp(cfg.IdleTimeout),
+	}
+}
+
 // Serve runs handler on ln until SIGINT/SIGTERM arrives or the server
-// fails, then drains in-flight requests with a bounded graceful shutdown.
-// logf reports lifecycle events (log.Printf-shaped); the returned error is
-// non-nil only for a server failure, not a clean signal exit.
-func Serve(ln net.Listener, handler http.Handler, logf func(format string, args ...any)) error {
-	hs := &http.Server{Handler: handler}
+// fails, then drains in-flight requests within cfg.DrainTimeout. The
+// returned error is non-nil only for a server failure, not a clean signal
+// exit.
+func Serve(ln net.Listener, handler http.Handler, cfg ServeConfig) error {
+	cfg = cfg.withDefaults()
+	hs := newHTTPServer(handler, cfg)
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
@@ -87,12 +164,12 @@ func Serve(ln net.Listener, handler http.Handler, logf func(format string, args 
 	case err := <-errc:
 		return fmt.Errorf("daemon: serve: %w", err)
 	case sig := <-sigc:
-		logf("caught %v, shutting down", sig)
+		cfg.Logf("caught %v, draining for up to %v", sig, cfg.DrainTimeout)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
-		logf("shutdown: %v", err)
+		cfg.Logf("shutdown: %v", err)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"sgr/internal/obs"
 )
@@ -179,5 +180,40 @@ func TestWriteAddrFileUnwritableDir(t *testing.T) {
 	}
 	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
 		t.Fatalf("addr file unexpectedly exists after failed write: %v", statErr)
+	}
+}
+
+// TestServerTimeoutPosture pins the slow-client defenses both daemons
+// inherit: defaults applied, explicit values honored, negatives meaning
+// "explicitly disabled", and the drain default.
+func TestServerTimeoutPosture(t *testing.T) {
+	defaults := ServeConfig{}.withDefaults()
+	hs := newHTTPServer(nil, defaults)
+	if hs.ReadHeaderTimeout != DefaultReadHeaderTimeout {
+		t.Errorf("ReadHeaderTimeout = %v, want %v", hs.ReadHeaderTimeout, DefaultReadHeaderTimeout)
+	}
+	if hs.ReadTimeout != DefaultReadTimeout {
+		t.Errorf("ReadTimeout = %v, want %v", hs.ReadTimeout, DefaultReadTimeout)
+	}
+	if hs.IdleTimeout != DefaultIdleTimeout {
+		t.Errorf("IdleTimeout = %v, want %v", hs.IdleTimeout, DefaultIdleTimeout)
+	}
+	if defaults.DrainTimeout != DefaultDrainTimeout {
+		t.Errorf("DrainTimeout = %v, want %v", defaults.DrainTimeout, DefaultDrainTimeout)
+	}
+
+	custom := ServeConfig{
+		DrainTimeout:      time.Minute,
+		ReadHeaderTimeout: 2 * time.Second,
+		ReadTimeout:       -1, // disabled: streaming endpoints may outlive any bound
+		IdleTimeout:       3 * time.Second,
+	}.withDefaults()
+	hs = newHTTPServer(nil, custom)
+	if hs.ReadHeaderTimeout != 2*time.Second || hs.ReadTimeout != 0 || hs.IdleTimeout != 3*time.Second {
+		t.Errorf("custom posture not honored: header=%v read=%v idle=%v",
+			hs.ReadHeaderTimeout, hs.ReadTimeout, hs.IdleTimeout)
+	}
+	if custom.DrainTimeout != time.Minute {
+		t.Errorf("DrainTimeout = %v, want 1m", custom.DrainTimeout)
 	}
 }

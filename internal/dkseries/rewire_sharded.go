@@ -1,6 +1,7 @@
 package dkseries
 
 import (
+	"context"
 	"math/rand/v2"
 	"slices"
 
@@ -92,6 +93,17 @@ type ShardedRewireOptions struct {
 	// timers read the monotonic clock and nothing else, so the output
 	// graph and RewireStats are byte-identical with and without one.
 	Trace *obs.Trace
+	// Ctx, when set, is polled non-blockingly at the top of every
+	// propose/commit round: once it is done the engine stops issuing
+	// rounds and returns the graph as committed so far — valid (it still
+	// realizes the degree vector and JDM) but only partially rewired, with
+	// RewireStats reporting the rounds actually run. Callers that must not
+	// observe partial results (core.Restore) re-check the context after
+	// the engine returns and discard the graph. The poll reads the context
+	// and nothing else — no RNG draw, no map walk — so a run the context
+	// never interrupts is byte-identical to one with Ctx nil: cancellation
+	// can abort an output, never alter one.
+	Ctx context.Context
 
 	// forceMergeEval pins the evaluator to the merge walk regardless of
 	// graph size. Test hook: the two evaluators must produce identical
@@ -605,8 +617,9 @@ type shardedRun struct {
 	shards    int
 	roundSize int
 
-	round      uint32 // current round number; stamps refer to it
-	forceMerge bool   // test hook, see ShardedRewireOptions.forceMergeEval
+	round      uint32          // current round number; stamps refer to it
+	forceMerge bool            // test hook, see ShardedRewireOptions.forceMergeEval
+	ctx        context.Context // round-boundary cancellation; nil = never
 	rngs       []*rand.Rand
 	degsOf     [][]int32 // shard -> degree values it owns
 
@@ -636,6 +649,7 @@ func newShardedRun(st *rewireState, rows *sortedRows, opts ShardedRewireOptions)
 		st:         st,
 		rows:       rows,
 		forceMerge: opts.forceMergeEval,
+		ctx:        opts.Ctx,
 		forbid:     opts.ForbidDegenerate,
 		workers:    opts.Workers,
 		shards:     opts.shards(),
@@ -695,10 +709,23 @@ func newShardedRun(st *rewireState, rows *sortedRows, opts ShardedRewireOptions)
 }
 
 // run drives the propose/commit rounds until the attempt budget of
-// `total` proposals is spent. Attempts is bumped exactly total times —
-// the same budget accounting as the serial loop.
+// `total` proposals is spent or the context fires between rounds.
+// Attempts is bumped exactly total times when the run completes — the
+// same budget accounting as the serial loop; a cancelled run leaves the
+// unspent budget uncounted, which is how RewireStats reports the abort.
 func (r *shardedRun) run(total int, stats *RewireStats) {
 	for done := 0; done < total; {
+		if r.ctx != nil {
+			select {
+			case <-r.ctx.Done():
+				// Cooperative abort at a round boundary: the committed
+				// prefix of rounds is a valid (degree- and JDM-preserving)
+				// graph, and no state from the abandoned rounds — RNG
+				// positions included — has been touched.
+				return
+			default:
+			}
+		}
 		p := min(r.roundSize, total-done)
 		if !r.allocate(p) {
 			// No degree bucket holds two candidate halves: every

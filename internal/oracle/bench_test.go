@@ -65,8 +65,7 @@ func refNeighborsHandler(g *graph.Graph, pageSize int) http.Handler {
 			return
 		}
 		s.injectLatency()
-		if s.injectFault() {
-			writeJSON(w, http.StatusServiceUnavailable, Error{Code: ErrCodeTransient})
+		if s.serveFault(w) {
 			return
 		}
 		id, err := strconv.Atoi(r.PathValue("id"))

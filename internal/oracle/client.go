@@ -461,8 +461,10 @@ func (c *Client) fetchNodeFrom(u int, nb []int, cursor int) ([]int, error) {
 }
 
 // getJSON issues one GET with bounded retries and exponential backoff,
-// decoding a 200 body into out. 429 (honoring Retry-After), any 5xx, and
-// transport errors retry; 4xx protocol errors are permanent.
+// decoding a 200 body into out. 429 (honoring Retry-After, clamped to
+// MaxBackoff), any 5xx, transport errors — timeouts, resets, truncated
+// reads — and 200 bodies that fail to decode all retry; 4xx protocol
+// errors are permanent.
 func (c *Client) getJSON(url string, out any) error {
 	start := time.Now()
 	defer func() { c.queryUsec.Observe(time.Since(start).Microseconds()) }()
@@ -489,7 +491,12 @@ func (c *Client) getJSON(url string, out any) error {
 		switch {
 		case resp.StatusCode == http.StatusOK:
 			if err := json.Unmarshal(body, out); err != nil {
-				return fmt.Errorf("decoding response: %w", err)
+				// A 200 whose body does not parse is transport damage — a
+				// truncated read the framing didn't catch, a corrupting
+				// proxy — not a protocol answer. Treating it as permanent
+				// would kill a crawl a single clean retry could save.
+				lastErr = fmt.Errorf("decoding response: %w", err)
+				continue
 			}
 			return nil
 		case resp.StatusCode == http.StatusForbidden && errCode(body) == ErrCodePrivate:
@@ -529,10 +536,15 @@ func (e *retriableStatus) Error() string { return fmt.Sprintf("HTTP %d", e.statu
 
 // backoff returns the delay before retry number attempt (1-based): the
 // server's Retry-After when the last failure carried one, else
-// BaseBackoff doubled per attempt and capped at MaxBackoff.
+// BaseBackoff doubled per attempt. Either way the delay is capped at
+// MaxBackoff — Retry-After is a hint from an untrusted peer, and a
+// hostile or buggy value must not park the crawler for an hour.
 func (c *Client) backoff(attempt int, lastErr error) time.Duration {
 	var rs *retriableStatus
 	if errors.As(lastErr, &rs) && rs.retryAfter > 0 {
+		if rs.retryAfter > c.cfg.MaxBackoff {
+			return c.cfg.MaxBackoff
+		}
 		return rs.retryAfter
 	}
 	d := c.cfg.BaseBackoff << (attempt - 1)

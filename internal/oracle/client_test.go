@@ -121,8 +121,9 @@ func TestClientRetries503(t *testing.T) {
 	}
 }
 
-// TestClientRetries429 pins rate-limit handling: a 429 with Retry-After is
-// retried after the server's hint and eventually succeeds.
+// TestClientRetries429 pins rate-limit handling: a 429 with Retry-After
+// within MaxBackoff is retried after the server's hint and eventually
+// succeeds.
 func TestClientRetries429(t *testing.T) {
 	g := testGraph(t)
 	inner := NewServer(g, ServerConfig{})
@@ -137,7 +138,7 @@ func TestClientRetries429(t *testing.T) {
 		inner.Handler().ServeHTTP(w, r)
 	}))
 	t.Cleanup(ts.Close)
-	client := fastClient(t, ts)
+	client := fastClient(t, ts, func(cfg *ClientConfig) { cfg.MaxBackoff = 10 * time.Second })
 	client.sleep = func(d time.Duration) { slept.Add(int64(d)) }
 
 	if _, err := client.Neighbors(3); err != nil {
@@ -147,6 +148,35 @@ func TestClientRetries429(t *testing.T) {
 	// the hint instead of its own 1ms backoff schedule.
 	if got := time.Duration(slept.Load()); got != 14*time.Second {
 		t.Fatalf("slept %v across retries, want 14s from Retry-After", got)
+	}
+}
+
+// TestClientClampsHostileRetryAfter pins the other side of the hint
+// contract: Retry-After is an untrusted suggestion, and a hostile or
+// buggy server advertising an enormous wait must not park the client —
+// the hint is clamped to the client's own MaxBackoff.
+func TestClientClampsHostileRetryAfter(t *testing.T) {
+	g := testGraph(t)
+	inner := NewServer(g, ServerConfig{})
+	var calls atomic.Int64
+	var slept atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/meta" && calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "10000")
+			writeJSON(w, http.StatusTooManyRequests, Error{Code: ErrCodeRateLimited})
+			return
+		}
+		inner.Handler().ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	client := fastClient(t, ts) // MaxBackoff: 10ms
+	client.sleep = func(d time.Duration) { slept.Add(int64(d)) }
+
+	if _, err := client.Neighbors(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Duration(slept.Load()); got != 20*time.Millisecond {
+		t.Fatalf("slept %v across retries, want 2 x 10ms MaxBackoff clamp", got)
 	}
 }
 

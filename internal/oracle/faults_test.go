@@ -1,0 +1,149 @@
+package oracle
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sgr/internal/sampling"
+)
+
+// TestCrawlByteIdenticalUnderFaultMatrix sweeps every injected fault mode
+// — and their combination — and asserts the hardened client converges on
+// a crawl byte-identical to the in-memory walk at the same seed. Faults
+// may cost retries; they must never cost a byte.
+func TestCrawlByteIdenticalUnderFaultMatrix(t *testing.T) {
+	g := testGraph(t)
+	local, err := sampling.RandomWalk(sampling.NewGraphAccess(g), 17, 0.15, walkRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := crawlJSON(t, local)
+
+	stall := time.Millisecond
+	matrix := map[string]FaultPlan{
+		"truncate": {Truncate: 0.3},
+		"corrupt":  {Corrupt: 0.3},
+		"stall":    {Stall: 0.3, StallDelay: stall},
+		"reset":    {Reset: 0.3},
+		"everything": {
+			Truncate: 0.1, Corrupt: 0.1, Stall: 0.1, StallDelay: stall, Reset: 0.1,
+		},
+	}
+	for name, plan := range matrix {
+		t.Run(name, func(t *testing.T) {
+			srv, ts := startServer(t, g, ServerConfig{
+				PageSize:  5, // pagination multiplies the exposed surface
+				ErrorRate: 0.1,
+				FaultSeed: 1234,
+				Faults:    plan,
+			})
+			client := fastClient(t, ts, func(cfg *ClientConfig) {
+				cfg.MaxRetries = 40 // fault-dense runs need headroom
+			})
+			remote, err := sampling.RandomWalk(client, 17, 0.15, walkRNG(11))
+			if err != nil {
+				t.Fatalf("crawl under %s faults: %v (client: %v)", name, err, client.Err())
+			}
+			if client.Err() != nil {
+				t.Fatalf("client error after successful crawl: %v", client.Err())
+			}
+			if !bytes.Equal(crawlJSON(t, remote), want) {
+				t.Fatalf("crawl under %s faults differs from the fault-free walk", name)
+			}
+			if srv.Faulted() == 0 {
+				t.Fatalf("%s plan injected nothing — the sweep tested fair weather", name)
+			}
+		})
+	}
+}
+
+// TestClientRetriesDecodeFailure pins the decode-retry fix: a 200 whose
+// body fails to parse is transport damage, retried like a 503 — not a
+// protocol answer that kills the walk.
+func TestClientRetriesDecodeFailure(t *testing.T) {
+	g := testGraph(t)
+	inner := NewServer(g, ServerConfig{})
+	var poisoned atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/meta" && poisoned.CompareAndSwap(false, true) {
+			writeRawJSON(w, http.StatusOK, []byte(`{"id":3,"degree":2,"neighbors":[1,,]}`))
+			return
+		}
+		inner.Handler().ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	client := fastClient(t, ts)
+	client.sleep = func(time.Duration) {}
+
+	nb, err := client.Neighbors(3)
+	if err != nil {
+		t.Fatalf("neighbors after one corrupt body: %v", err)
+	}
+	want := g.Neighbors(3)
+	if len(nb) != len(want) {
+		t.Fatalf("got %d neighbors, want %d", len(nb), len(want))
+	}
+	for i := range nb {
+		if nb[i] != want[i] {
+			t.Fatalf("neighbor %d = %d, want %d", i, nb[i], want[i])
+		}
+	}
+	if !poisoned.Load() {
+		t.Fatal("the corrupt body was never served")
+	}
+}
+
+// TestFaultPlanValidation: the cumulative draw requires the rates to leave
+// room for success; NewServer applies the stall-delay default.
+func TestFaultPlanValidation(t *testing.T) {
+	g := testGraph(t)
+	srv := NewServer(g, ServerConfig{Faults: FaultPlan{Stall: 0.2}})
+	if srv.cfg.Faults.StallDelay != DefaultStallDelay {
+		t.Fatalf("stall delay defaulted to %v, want %v", srv.cfg.Faults.StallDelay, DefaultStallDelay)
+	}
+	if got := (FaultPlan{Truncate: 0.25, Corrupt: 0.25, Stall: 0.125, Reset: 0.125}).rate(); got != 0.75 {
+		t.Fatalf("plan rate = %v, want 0.75", got)
+	}
+}
+
+// TestServerLegacyErrorRateSequence pins bit-compatibility of the seeded
+// fault stream: with only ErrorRate configured, the new cumulative draw
+// consumes exactly one variate per request with the transient band first,
+// so the 503 positions of a given FaultSeed are the ones the pre-plan
+// server produced.
+func TestServerLegacyErrorRateSequence(t *testing.T) {
+	g := testGraph(t)
+	observe := func(cfg ServerConfig) []bool {
+		_, ts := startServer(t, g, cfg)
+		var pattern []bool
+		for i := 0; i < 40; i++ {
+			resp, err := http.Get(ts.URL + "/v1/nodes/1/neighbors")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			pattern = append(pattern, resp.StatusCode == http.StatusServiceUnavailable)
+		}
+		return pattern
+	}
+	a := observe(ServerConfig{ErrorRate: 0.4, FaultSeed: 77})
+	b := observe(ServerConfig{ErrorRate: 0.4, FaultSeed: 77, Faults: FaultPlan{}})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: fault differs between legacy and empty-plan configs", i)
+		}
+	}
+	injected := 0
+	for _, f := range a {
+		if f {
+			injected++
+		}
+	}
+	if injected == 0 || injected == len(a) {
+		t.Fatalf("error-rate 0.4 over %d requests injected %d — degenerate sequence", len(a), injected)
+	}
+}

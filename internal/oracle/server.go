@@ -2,6 +2,7 @@ package oracle
 
 import (
 	"encoding/json"
+	"io"
 	"math"
 	"math/rand/v2"
 	"net"
@@ -49,10 +50,53 @@ type ServerConfig struct {
 	// 503 instead of serving it; FaultSeed seeds the fault stream.
 	ErrorRate float64
 	FaultSeed uint64
+	// Faults widens the injected failure model beyond the clean transient
+	// 503: truncated bodies, corrupt JSON, response stalls, and connection
+	// resets. ErrorRate and the plan's rates form one cumulative draw per
+	// data request from the FaultSeed stream (transient first), so a
+	// config that only sets ErrorRate reproduces the legacy fault sequence
+	// bit for bit, and any plan is deterministic run to run. The rates
+	// must sum to less than 1.
+	Faults FaultPlan
 	// Private lists node ids whose neighbor lists are hidden: querying
 	// them costs the request but yields 403 "private", mirroring
 	// sampling.PrivateAccess semantics.
 	Private []int
+}
+
+// DefaultStallDelay is how long a stall fault holds a response when
+// FaultPlan.StallDelay is unset — long enough to trip any sane client
+// request timeout, short enough not to dominate a test run.
+const DefaultStallDelay = 2 * time.Second
+
+// FaultPlan is the probability mix of the hostile failure modes a real
+// third-party API exhibits and a resilient crawler must survive. Every
+// mode must read to the client as transport damage — retriable — never as
+// data: a fault can delay a crawl but must not change a byte of it.
+type FaultPlan struct {
+	// Truncate answers 200 with a Content-Length larger than the bytes
+	// actually sent, then drops the connection: the client reads an
+	// unexpected EOF mid-body.
+	Truncate float64
+	// Corrupt answers 200 with a body that is not valid JSON.
+	Corrupt float64
+	// Stall holds the response for StallDelay before serving it normally —
+	// the "walk, not wait" scenario where the API is up but pathologically
+	// slow. Clients with a request timeout see a timeout; clients without
+	// one eventually get a correct answer.
+	Stall float64
+	// StallDelay is the stall duration (default DefaultStallDelay).
+	StallDelay time.Duration
+	// Reset drops the connection before writing anything (with SO_LINGER
+	// zeroed where the transport allows, so the peer sees a TCP RST rather
+	// than a clean close).
+	Reset float64
+}
+
+// rate sums the plan's probabilities (the non-transient share of the
+// cumulative fault draw).
+func (p FaultPlan) rate() float64 {
+	return p.Truncate + p.Corrupt + p.Stall + p.Reset
 }
 
 // Server serves a hidden graph through the oracle wire protocol. It is
@@ -99,6 +143,9 @@ func NewServer(g *graph.Graph, cfg ServerConfig) *Server {
 	if cfg.MaxBatch == 0 {
 		cfg.MaxBatch = DefaultMaxBatch
 	}
+	if cfg.Faults.Stall > 0 && cfg.Faults.StallDelay <= 0 {
+		cfg.Faults.StallDelay = DefaultStallDelay
+	}
 	s := &Server{
 		g:          g,
 		csr:        g.CSR(),
@@ -113,7 +160,7 @@ func NewServer(g *graph.Graph, cfg ServerConfig) *Server {
 	}
 	s.queries = s.reg.Counter("graphd_queries_served", "neighbor pages answered with 200 (budget handed out)")
 	s.rateLimited = s.reg.Counter("graphd_rate_limited", "requests answered 429")
-	s.faulted = s.reg.Counter("graphd_faulted", "injected transient 503s served")
+	s.faulted = s.reg.Counter("graphd_faulted", "injected faults served (503s, truncations, corruptions, stalls, resets)")
 	s.reg.GaugeFunc("graphd_active_clients", "distinct client keys seen on the data endpoints",
 		func() int64 { return int64(s.ActiveClients()) })
 	s.reqUsec = s.reg.Histogram("graphd_request_usec", "data-endpoint service time in microseconds, injected latency and faults included")
@@ -136,7 +183,8 @@ func (s *Server) QueriesServed() int64 { return s.queries.Value() }
 // RateLimited reports how many requests were answered 429.
 func (s *Server) RateLimited() int64 { return s.rateLimited.Value() }
 
-// Faulted reports how many injected 503s were served.
+// Faulted reports how many injected faults (transient 503s, truncations,
+// corruptions, stalls, resets) were served.
 func (s *Server) Faulted() int64 { return s.faulted.Value() }
 
 // ActiveClients reports how many distinct client keys (X-API-Key, or
@@ -205,9 +253,7 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.injectLatency()
-	if s.injectFault() {
-		s.faulted.Add(1)
-		writeJSON(w, http.StatusServiceUnavailable, Error{Code: ErrCodeTransient})
+	if s.serveFault(w) {
 		return
 	}
 	id, err := strconv.Atoi(r.PathValue("id"))
@@ -272,9 +318,7 @@ func (s *Server) handleNeighborsBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.injectLatency()
-	if s.injectFault() {
-		s.faulted.Add(1)
-		writeJSON(w, http.StatusServiceUnavailable, Error{Code: ErrCodeTransient})
+	if s.serveFault(w) {
 		return
 	}
 	raw := r.URL.Query().Get("ids")
@@ -387,15 +431,99 @@ func (s *Server) injectLatency() {
 	}
 }
 
-// injectFault draws from the fault stream and reports whether this request
-// should fail with a transient 503.
-func (s *Server) injectFault() bool {
-	if s.cfg.ErrorRate <= 0 {
-		return false
+// faultKind enumerates the injected failure modes.
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	faultTransient
+	faultTruncate
+	faultCorrupt
+	faultStall
+	faultReset
+)
+
+// drawFault draws one uniform variate from the seeded fault stream and
+// maps it onto the cumulative fault mix. Transient (ErrorRate) owns the
+// first interval, so a config with no FaultPlan reproduces the legacy
+// single-mode fault sequence exactly.
+func (s *Server) drawFault() faultKind {
+	if s.cfg.ErrorRate <= 0 && s.cfg.Faults.rate() <= 0 {
+		return faultNone
 	}
 	s.faultMu.Lock()
-	defer s.faultMu.Unlock()
-	return s.faultRng.Float64() < s.cfg.ErrorRate
+	u := s.faultRng.Float64()
+	s.faultMu.Unlock()
+	for _, step := range [...]struct {
+		rate float64
+		kind faultKind
+	}{
+		{s.cfg.ErrorRate, faultTransient},
+		{s.cfg.Faults.Truncate, faultTruncate},
+		{s.cfg.Faults.Corrupt, faultCorrupt},
+		{s.cfg.Faults.Stall, faultStall},
+		{s.cfg.Faults.Reset, faultReset},
+	} {
+		if u -= step.rate; u < 0 {
+			return step.kind
+		}
+	}
+	return faultNone
+}
+
+// serveFault draws from the fault plan and acts on the outcome. It reports
+// whether the request was consumed by the fault; false means serve the
+// request normally (no fault, or a stall — which has already slept and
+// must now produce a correct response).
+func (s *Server) serveFault(w http.ResponseWriter) bool {
+	kind := s.drawFault()
+	if kind == faultNone {
+		return false
+	}
+	s.faulted.Add(1)
+	switch kind {
+	case faultStall:
+		s.sleep(s.cfg.Faults.StallDelay)
+		return false
+	case faultTransient:
+		writeJSON(w, http.StatusServiceUnavailable, Error{Code: ErrCodeTransient})
+	case faultCorrupt:
+		// A 200 whose body does not parse: the bytes a proxy or a buggy
+		// upstream can hand back. Deliberately delivered complete and
+		// well-framed — only the JSON layer is damaged.
+		writeRawJSON(w, http.StatusOK, []byte(`{"id":0,"degree":3,"neighbors":[1,,]}`+"\n"))
+	case faultTruncate:
+		s.dropConn(w, true)
+	case faultReset:
+		s.dropConn(w, false)
+	}
+	return true
+}
+
+// dropConn hijacks the client connection and kills it. With partial set it
+// first writes a 200 header promising more body bytes than it sends, so
+// the client reads an unexpected EOF mid-body; without it the connection
+// dies before any response (SO_LINGER zeroed → TCP RST where possible).
+// Writers that cannot be hijacked (httptest recorders, HTTP/2) degrade to
+// a clean transient 503 — still a fault, just a politer one.
+func (s *Server) dropConn(w http.ResponseWriter, partial bool) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		writeJSON(w, http.StatusServiceUnavailable, Error{Code: ErrCodeTransient})
+		return
+	}
+	conn, bufrw, err := hj.Hijack()
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, Error{Code: ErrCodeTransient})
+		return
+	}
+	if partial {
+		io.WriteString(bufrw, "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 4096\r\n\r\n{\"id\":0,\"degree\":97,\"neighbors\":[1,2,")
+		bufrw.Flush()
+	} else if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	conn.Close()
 }
 
 // clientKey identifies the requester for rate limiting: the X-API-Key

@@ -20,12 +20,13 @@
 //
 // The wire protocol (version 1):
 //
-//	POST /v1/jobs                     JobSpec -> JobStatus (202 new, 200 known)
-//	GET  /v1/jobs/{id}                -> JobStatus
-//	GET  /v1/jobs/{id}/graph          -> binary SGRB bytes (?format=edgelist for text)
-//	GET  /v1/jobs/{id}/props          -> the 12 structural properties, JSON
-//	GET  /v1/jobs/{id}/trace          -> pipeline timeline (?format=chrome for trace_event)
-//	GET  /v1/healthz, /v1/metrics     -> shared daemon endpoints
+//	POST   /v1/jobs                   JobSpec -> JobStatus (202 new, 200 known, 429 + Retry-After full)
+//	GET    /v1/jobs/{id}              -> JobStatus
+//	DELETE /v1/jobs/{id}              -> JobStatus (cancellation request; 409 once terminal)
+//	GET    /v1/jobs/{id}/graph        -> binary SGRB bytes (?format=edgelist for text)
+//	GET    /v1/jobs/{id}/props        -> the 12 structural properties, JSON
+//	GET    /v1/jobs/{id}/trace        -> pipeline timeline (?format=chrome for trace_event)
+//	GET    /v1/healthz, /v1/metrics   -> shared daemon endpoints
 //
 // A JobSpec names exactly one crawl source: an inline crawl JSON (the
 // sampling package's on-disk format), an uploaded oracle crawl journal, or
@@ -39,6 +40,16 @@
 // observation only — it lives strictly outside the content-address
 // canonicalization (TestTimingFieldsOutsideContentAddress pins this), so
 // tracing never re-keys a job and adds zero nondeterminism to results.
+//
+// Failure model: with a cache dir configured, accepted jobs are durable —
+// logged to a CRC-checked write-ahead journal before they become
+// runnable, replayed on startup (skipping ids the result cache already
+// answers), so a crashed daemon resumes exactly the work it had accepted.
+// Jobs are also cancellable (DELETE, or a timeout_ms deadline on the
+// spec): cancellation is cooperative at pipeline phase and rewiring round
+// boundaries, may only abort a job, and never perturbs the bytes of a job
+// that completes. Both mechanisms are pure wall-clock machinery outside
+// the content address.
 package restored
 
 import "encoding/json"
@@ -58,6 +69,14 @@ type JobSpec struct {
 	// SkipRewiring and ForbidDegenerate mirror core.Options.
 	SkipRewiring     bool `json:"skip_rewiring,omitempty"`
 	ForbidDegenerate bool `json:"forbid_degenerate,omitempty"`
+	// TimeoutMS, when positive, deadlines the job: a job still unfinished
+	// this many milliseconds after acceptance (re-acceptance, for a job
+	// replayed from the WAL) is cancelled at its next cooperative
+	// checkpoint. Wall-clock policy, NOT identity: like queue_usec and
+	// phase_usec it stays outside the content address, so submissions
+	// differing only in timeout dedup onto one job — and the first
+	// submission's timeout governs it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 
 	// Crawl is an inline crawl JSON (sampling.WriteJSON format). Whitespace
 	// and field order do not affect the job identity: the crawl is
@@ -87,12 +106,15 @@ type GraphdSource struct {
 	Retries int    `json:"retries,omitempty"`
 }
 
-// Job states.
+// Job states. Cancelled is terminal like failed — and like failed, an
+// identical resubmission replaces a cancelled job with a fresh attempt
+// instead of serving the stale abort forever.
 const (
-	StateQueued  = "queued"
-	StateRunning = "running"
-	StateDone    = "done"
-	StateFailed  = "failed"
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
 )
 
 // Job phases (the progress detail within StateRunning).
@@ -142,10 +164,11 @@ type Error struct {
 
 // Error codes.
 const (
-	ErrCodeBadRequest   = "bad_request"
-	ErrCodeUnknownJob   = "unknown_job"
-	ErrCodeNotReady     = "not_ready"
-	ErrCodeJobFailed    = "job_failed"
-	ErrCodeQueueFull    = "queue_full"
-	ErrCodeShuttingDown = "shutting_down"
+	ErrCodeBadRequest     = "bad_request"
+	ErrCodeUnknownJob     = "unknown_job"
+	ErrCodeNotReady       = "not_ready"
+	ErrCodeJobFailed      = "job_failed"
+	ErrCodeQueueFull      = "queue_full"
+	ErrCodeShuttingDown   = "shutting_down"
+	ErrCodeNotCancellable = "not_cancellable"
 )

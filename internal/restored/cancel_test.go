@@ -1,0 +1,242 @@
+package restored
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitCancelled blocks until the job settles and asserts it ended
+// cancelled with the given cause.
+func waitCancelled(t *testing.T, j *Job, cause error) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(2 * time.Minute):
+		t.Fatalf("job %s never settled", shortKey(j.ID))
+	}
+	st := j.Status()
+	if st.State != StateCancelled {
+		t.Fatalf("job state %q, want cancelled", st.State)
+	}
+	if _, err := j.Result(); err == nil || !errors.Is(err, cause) {
+		t.Fatalf("cancelled job error = %v, want %v", err, cause)
+	}
+}
+
+// TestCancelQueuedJob: cancelling a job no worker has picked up settles it
+// immediately, and the worker later drains it without running anything.
+func TestCancelQueuedJob(t *testing.T) {
+	_, c := testGraphAndCrawl(t, 3, 0.1)
+	raw := crawlJSONBytes(t, c)
+
+	gate := make(chan struct{})
+	started := make(chan struct{}, 8)
+	svc := newTestService(t, Config{Workers: 1, QueueDepth: 4})
+	svc.testBeforeRun = func(*Job) {
+		started <- struct{}{}
+		<-gate
+	}
+	defer close(gate)
+
+	// Job A occupies the only worker; job B sits in the queue.
+	a, _, err := svc.Submit(&JobSpec{Seed: 1, RC: 5, Crawl: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	b, _, err := svc.Submit(&JobSpec{Seed: 2, RC: 5, Crawl: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := svc.Cancel(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitCancelled(t, b, errJobCancelled)
+
+	// Cancelling a terminal job is a conflict, not a second transition.
+	if _, err := svc.Cancel(b.ID); !errors.Is(err, ErrNotCancellable) {
+		t.Fatalf("second cancel: %v, want ErrNotCancellable", err)
+	}
+	if _, err := svc.Cancel(strings.Repeat("0", 64)); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("cancel of unknown id: %v, want ErrUnknownJob", err)
+	}
+
+	// A cancelled job must not poison its content address: the identical
+	// resubmission is a fresh attempt that runs to completion.
+	gate <- struct{}{} // release A
+	gate <- struct{}{} // release the worker's drain pass over cancelled B
+	waitDone(t, a)
+	b2, existing, err := svc.Submit(&JobSpec{Seed: 2, RC: 5, Crawl: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if existing {
+		t.Fatal("resubmission deduped onto the cancelled job")
+	}
+	gate <- struct{}{} // release B's replacement
+	waitDone(t, b2)
+	if got := svc.cancelled.Value(); got != 1 {
+		t.Fatalf("cancelled counter = %d, want 1", got)
+	}
+}
+
+// TestCancelRunningJobAbortsPipeline: a job cancelled while the pipeline
+// runs stops at the next cooperative checkpoint instead of completing, and
+// no result is published under its id.
+func TestCancelRunningJobAbortsPipeline(t *testing.T) {
+	_, c := testGraphAndCrawl(t, 3, 0.2)
+	raw := crawlJSONBytes(t, c)
+
+	cancelled := make(chan struct{})
+	svc := newTestService(t, Config{Workers: 1})
+	svc.testBeforeRun = func(j *Job) {
+		// Cancel between pickup and the first checkpoint: the worker's own
+		// ctx poll must observe it — deterministic, no mid-phase timing.
+		j.cancel(errJobCancelled)
+		close(cancelled)
+	}
+	job, _, err := svc.Submit(&JobSpec{Seed: 3, RC: 50, Crawl: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-cancelled
+	waitCancelled(t, job, errJobCancelled)
+	if got := svc.PipelineRuns(); got != 0 {
+		t.Fatalf("cancelled job ran the pipeline %d time(s)", got)
+	}
+}
+
+// TestJobDeadline: a timeout_ms deadline cancels a job that outlives it,
+// with the deadline cause — distinguishable from an operator cancel.
+func TestJobDeadline(t *testing.T) {
+	_, c := testGraphAndCrawl(t, 3, 0.1)
+	raw := crawlJSONBytes(t, c)
+
+	svc := newTestService(t, Config{Workers: 1})
+	svc.testBeforeRun = func(j *Job) {
+		// Park only jobs with a short deadline until it fires; the
+		// generous and deadline-free jobs below run normally.
+		if j.spec.timeout > 0 && j.spec.timeout < time.Second {
+			<-j.ctx.Done()
+		}
+	}
+	job, _, err := svc.Submit(&JobSpec{Seed: 5, RC: 5, TimeoutMS: 5, Crawl: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCancelled(t, job, errJobDeadline)
+
+	// A generous deadline never fires: the job completes normally and its
+	// bytes match a deadline-free run.
+	free, _, err := svc.Submit(&JobSpec{Seed: 6, RC: 5, Crawl: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resFree := waitDone(t, free)
+	svc.forget(free.ID)
+	deadlined, _, err := svc.Submit(&JobSpec{Seed: 6, RC: 5, TimeoutMS: 600_000, Crawl: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deadlined.ID != free.ID {
+		t.Fatal("timeout_ms changed the job id")
+	}
+	resDeadlined := waitDone(t, deadlined)
+	if !bytes.Equal(resFree.GraphBin, resDeadlined.GraphBin) {
+		t.Fatal("deadline-bearing job produced different bytes")
+	}
+
+	// Negative timeouts are rejected at submit.
+	if _, _, err := svc.Submit(&JobSpec{Seed: 7, TimeoutMS: -1, Crawl: raw}); err == nil {
+		t.Fatal("negative timeout_ms accepted")
+	}
+}
+
+// TestHTTPCancelAndRetryAfter drives DELETE /v1/jobs/{id} and the
+// queue-full 429 over the wire.
+func TestHTTPCancelAndRetryAfter(t *testing.T) {
+	_, c := testGraphAndCrawl(t, 3, 0.1)
+	raw := crawlJSONBytes(t, c)
+
+	gate := make(chan struct{})
+	started := make(chan struct{}, 8)
+	svc, ts := startHTTP(t, Config{Workers: 1, QueueDepth: 1})
+	svc.testBeforeRun = func(*Job) {
+		started <- struct{}{}
+		<-gate
+	}
+	defer close(gate)
+
+	del := func(id string) (int, JobStatus, Error) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var raw json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+			t.Fatal(err)
+		}
+		var st JobStatus
+		var e Error
+		json.Unmarshal(raw, &st)
+		json.Unmarshal(raw, &e)
+		return resp.StatusCode, st, e
+	}
+
+	// Occupy the worker, fill the queue.
+	_, stA := postJob(t, ts.URL, &JobSpec{Seed: 1, RC: 5, Crawl: raw})
+	<-started
+	_, stB := postJob(t, ts.URL, &JobSpec{Seed: 2, RC: 5, Crawl: raw})
+
+	// Overflow answers 429 with a positive integer Retry-After.
+	body, _ := json.Marshal(&JobSpec{Seed: 3, RC: 5, Crawl: raw})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow: HTTP %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" || strings.HasPrefix(ra, "-") {
+		t.Fatalf("overflow Retry-After = %q, want a positive integer", ra)
+	}
+
+	// DELETE the queued job: 200 and it settles cancelled.
+	code, _, _ := del(stB.ID)
+	if code != http.StatusOK {
+		t.Fatalf("cancel: HTTP %d, want 200", code)
+	}
+	j, _ := svc.Job(stB.ID)
+	waitCancelled(t, j, errJobCancelled)
+
+	// Its downloads are a terminal conflict, and a second DELETE answers
+	// 409 not_cancellable.
+	codeG, _, _ := getBody(t, ts.URL+"/v1/jobs/"+stB.ID+"/graph")
+	if codeG != http.StatusConflict {
+		t.Fatalf("graph of cancelled job: HTTP %d, want 409", codeG)
+	}
+	code, _, e := del(stB.ID)
+	if code != http.StatusConflict || e.Code != ErrCodeNotCancellable {
+		t.Fatalf("second cancel: HTTP %d %q, want 409 %q", code, e.Code, ErrCodeNotCancellable)
+	}
+	code, _, _ = del(strings.Repeat("0", 64))
+	if code != http.StatusNotFound {
+		t.Fatalf("cancel of unknown id: HTTP %d, want 404", code)
+	}
+
+	gate <- struct{}{} // release A
+	pollDone(t, ts.URL, stA.ID)
+}

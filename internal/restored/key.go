@@ -8,6 +8,7 @@ import (
 	"hash"
 	"os"
 	"strings"
+	"time"
 
 	"sgr/internal/dkseries"
 	"sgr/internal/oracle"
@@ -30,6 +31,13 @@ type jobSpec struct {
 	forbid bool
 	seed   uint64
 
+	// timeout is the job's wall-clock deadline (0 = none). Execution
+	// policy, not identity: it is deliberately excluded from writeOptions
+	// and therefore from the key — how long a caller is willing to wait
+	// must not re-key the work (TestTimingFieldsOutsideContentAddress
+	// pins this).
+	timeout time.Duration
+
 	crawl  *sampling.Crawl // nil for graphd sources until the worker crawls
 	canon  []byte          // canonical crawl bytes (nil for graphd sources)
 	graphd *GraphdSource
@@ -42,11 +50,15 @@ type jobSpec struct {
 // malformed submissions with a 400 instead of a failed job, and identical
 // submissions collapse onto one job id before anything is enqueued.
 func resolveSpec(spec *JobSpec) (*jobSpec, error) {
+	if spec.TimeoutMS < 0 {
+		return nil, fmt.Errorf("timeout_ms must be >= 0, got %d", spec.TimeoutMS)
+	}
 	ps := &jobSpec{
-		rc:     spec.RC,
-		skip:   spec.SkipRewiring,
-		forbid: spec.ForbidDegenerate,
-		seed:   spec.Seed,
+		rc:      spec.RC,
+		skip:    spec.SkipRewiring,
+		forbid:  spec.ForbidDegenerate,
+		seed:    spec.Seed,
+		timeout: time.Duration(spec.TimeoutMS) * time.Millisecond,
 	}
 	// Normalize the options that core resolves internally, so every
 	// spelling of a default hashes the same.
@@ -170,6 +182,29 @@ func resultKey(canon []byte, ps *jobSpec) string {
 	h.Write(canon)
 	ps.writeOptions(h)
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// walSpec renders the resolved spec back into its normalized wire form
+// for the job WAL: canonical crawl bytes, resolved method and rc. Feeding
+// the result through resolveSpec reproduces ps.key exactly —
+// canonicalization is a fixed point — which is what makes WAL replay
+// idempotent and lets it reject corrupt records by key mismatch.
+func (ps *jobSpec) walSpec() *JobSpec {
+	spec := &JobSpec{
+		Seed:             ps.seed,
+		Method:           ps.method,
+		RC:               ps.rc,
+		SkipRewiring:     ps.skip,
+		ForbidDegenerate: ps.forbid,
+		TimeoutMS:        ps.timeout.Milliseconds(),
+	}
+	if ps.graphd != nil {
+		g := *ps.graphd
+		spec.Graphd = &g
+	} else {
+		spec.Crawl = ps.canon
+	}
+	return spec
 }
 
 // crawlFromJournalText parses an uploaded oracle crawl journal. Journal

@@ -158,6 +158,12 @@ func TestTimingFieldsOutsideContentAddress(t *testing.T) {
 	if again := mustKey(t, spec); again != golden {
 		t.Fatalf("second resolution re-keyed to %s", again)
 	}
+	// timeout_ms is execution policy, not identity: how long a caller is
+	// willing to wait must not re-key the work.
+	deadlined := &JobSpec{Seed: 3, RC: 5, TimeoutMS: 12345, Crawl: crawlJSONBytes(t, c)}
+	if key := mustKey(t, deadlined); key != golden {
+		t.Fatalf("timeout_ms entered the content address: %s", key)
+	}
 
 	// Schema disjointness: no JobSpec input field may use a timing JSON
 	// name, or a copied status could smuggle timings into submissions.

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
 
 	"sgr/internal/daemon"
 	"sgr/internal/graph"
@@ -27,6 +29,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/graph", s.handleGraph)
 	mux.HandleFunc("GET /v1/jobs/{id}/props", s.handleProps)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
@@ -54,8 +57,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	job, existing, err := s.svc.Submit(&spec)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusServiceUnavailable, ErrCodeQueueFull, "")
+		// 429 with honest backpressure advice: the Retry-After is computed
+		// from the live backlog and observed pipeline latency, not a
+		// constant.
+		retry := int(math.Ceil(s.svc.QueueRetryAfter().Seconds()))
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeErr(w, http.StatusTooManyRequests, ErrCodeQueueFull, "")
 		return
 	case errors.Is(err, ErrClosed):
 		writeErr(w, http.StatusServiceUnavailable, ErrCodeShuttingDown, "")
@@ -80,6 +87,23 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job.Status())
 }
 
+// handleCancel requests cancellation. The 200 answer carries the job's
+// status at the moment of the request — usually still "running": a
+// running job stops at its next cooperative checkpoint, so callers poll
+// or wait for the terminal "cancelled" like any other state change.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, err := s.svc.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		writeErr(w, http.StatusNotFound, ErrCodeUnknownJob, "")
+		return
+	case errors.Is(err, ErrNotCancellable):
+		writeErr(w, http.StatusConflict, ErrCodeNotCancellable, "job is "+job.Status().State)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
 // jobResult resolves a job's finished result for the download endpoints,
 // writing the appropriate error response when it is not servable.
 func (s *Server) jobResult(w http.ResponseWriter, r *http.Request) (*Result, bool) {
@@ -90,7 +114,8 @@ func (s *Server) jobResult(w http.ResponseWriter, r *http.Request) (*Result, boo
 	}
 	st := job.Status()
 	switch st.State {
-	case StateFailed:
+	case StateFailed, StateCancelled:
+		// Terminal without a result; polling will never help.
 		writeErr(w, http.StatusConflict, ErrCodeJobFailed, st.Error)
 		return nil, false
 	case StateDone:

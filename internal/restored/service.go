@@ -1,6 +1,7 @@
 package restored
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -26,7 +27,10 @@ type Config struct {
 	QueueDepth int
 	// CacheDir, when set, persists the content-addressed result cache on
 	// disk so a restarted daemon answers old submissions without
-	// recomputing them.
+	// recomputing them — and makes accepted jobs durable: submissions are
+	// logged to a write-ahead journal (jobs.wal) in the same directory
+	// before they become runnable, and a restarted daemon replays
+	// unfinished ones, so a crash mid-pipeline loses no accepted work.
 	CacheDir string
 	// PropsWorkers bounds the parallel loops of /props property
 	// computation (default 1: results are then deterministic regardless
@@ -54,6 +58,20 @@ var (
 	ErrQueueFull = errors.New("restored: job queue full")
 	// ErrClosed rejects submissions after Close.
 	ErrClosed = errors.New("restored: service shutting down")
+	// ErrUnknownJob reports a Cancel of an id the job table has never
+	// seen.
+	ErrUnknownJob = errors.New("restored: unknown job")
+	// ErrNotCancellable reports a Cancel of a job already in a terminal
+	// state — there is nothing left to stop.
+	ErrNotCancellable = errors.New("restored: job already finished")
+)
+
+// Cancellation causes. These flow through the job context into the
+// pipeline's abort error, so run can tell an operator cancel and an
+// expired deadline apart from a genuine pipeline failure.
+var (
+	errJobCancelled = errors.New("restored: job cancelled")
+	errJobDeadline  = errors.New("restored: job deadline exceeded")
 )
 
 // Service is the restoration job engine: a bounded queue feeding a fixed
@@ -71,6 +89,10 @@ type Service struct {
 	cfg   Config
 	cache *Cache
 	queue chan *Job
+	// wal is the accepted-job journal (nil without CacheDir). Appends
+	// happen before a job becomes visible to workers, so a terminal
+	// record can never precede its accepted record.
+	wal *walJournal
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -89,6 +111,9 @@ type Service struct {
 	deduped      *obs.Counter // submissions answered by an existing job
 	completed    *obs.Counter // jobs finished successfully
 	failed       *obs.Counter // jobs finished with an error
+	cancelled    *obs.Counter // jobs cancelled (DELETE or deadline)
+	replayed     *obs.Counter // jobs re-enqueued from the WAL at startup
+	walRecords   *obs.Counter // WAL records appended (accepted + terminal)
 	pipelineRuns *obs.Counter // full pipeline executions (cache misses)
 	cacheHits    *obs.Counter // jobs answered from the result cache
 	remoteCrawls *obs.Counter // server-side graphd crawls performed
@@ -128,7 +153,16 @@ type Job struct {
 	trace    *obs.Trace
 	endQueue func()
 
+	// ctx carries the job's cancellation and deadline. Cooperative: the
+	// worker polls it between pipeline phases and rewiring rounds, so
+	// cancellation can only abort a job, never perturb the bytes of one
+	// that completes. Wall-clock machinery, outside the content address.
+	ctx       context.Context
+	cancel    context.CancelCauseFunc
+	stopTimer context.CancelFunc // non-nil when TimeoutMS armed a deadline
+
 	mu       sync.Mutex
+	picked   bool // a worker has taken this job off the queue
 	state    string
 	phase    string
 	err      error
@@ -164,7 +198,6 @@ func New(cfg Config) (*Service, error) {
 	s := &Service{
 		cfg:   cfg,
 		cache: cache,
-		queue: make(chan *Job, cfg.QueueDepth),
 		jobs:  make(map[string]*Job),
 		reg:   obs.NewRegistry(),
 	}
@@ -172,6 +205,9 @@ func New(cfg Config) (*Service, error) {
 	s.deduped = s.reg.Counter("restored_jobs_deduped", "submissions answered by an existing job")
 	s.completed = s.reg.Counter("restored_jobs_completed", "jobs finished successfully")
 	s.failed = s.reg.Counter("restored_jobs_failed", "jobs finished with an error")
+	s.cancelled = s.reg.Counter("restored_jobs_cancelled", "jobs cancelled (DELETE or deadline)")
+	s.replayed = s.reg.Counter("restored_jobs_replayed", "jobs re-enqueued from the WAL at startup")
+	s.walRecords = s.reg.Counter("restored_wal_records", "job WAL records appended (accepted + terminal)")
 	s.pipelineRuns = s.reg.Counter("restored_pipeline_runs", "full pipeline executions (cache misses)")
 	s.cacheHits = s.reg.Counter("restored_cache_hits", "jobs answered from the result cache")
 	s.remoteCrawls = s.reg.Counter("restored_remote_crawls", "server-side graphd crawls performed")
@@ -199,11 +235,98 @@ func New(cfg Config) (*Service, error) {
 	s.reg.GaugeFunc("restored_rewire_workers", "configured per-job rewiring parallelism", func() int64 {
 		return int64(s.cfg.RewireWorkers)
 	})
+
+	// Crash recovery: replay the job WAL before any worker starts, so
+	// every job the previous process accepted but never finished is
+	// runnable again. The queue is widened to hold the whole backlog —
+	// recovery must never lose accepted work to its own backpressure.
+	var pending []*Job
+	if cfg.CacheDir != "" {
+		wal, recs, err := openWAL(walPath(cfg.CacheDir))
+		if err != nil {
+			return nil, err
+		}
+		s.wal = wal
+		pending = s.replayWAL(recs)
+	}
+	depth := cfg.QueueDepth
+	if len(pending) > depth {
+		depth = len(pending)
+	}
+	s.queue = make(chan *Job, depth)
+	for _, j := range pending {
+		s.jobs[j.ID] = j
+		s.queue <- j
+		s.replayed.Inc()
+		s.cfg.Logf("job %s: replayed from wal", shortKey(j.ID))
+	}
+	if s.wal != nil {
+		// Compact: every record for a finished (or cache-answered) job is
+		// dead weight now; rewrite the journal down to the live backlog.
+		recs := make([]walRecord, 0, len(pending))
+		for _, j := range pending {
+			recs = append(recs, walRecord{T: walTypeAccepted, ID: j.ID, Spec: j.spec.walSpec()})
+		}
+		if err := s.wal.rewrite(recs); err != nil {
+			s.cfg.Logf("wal compaction failed: %v", err)
+		}
+	}
+
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s, nil
+}
+
+// replayWAL reconstructs the backlog a crashed process left behind: for
+// each id, the accepted record without a later terminal record wins. Ids
+// the result cache already answers are dropped (the crash happened after
+// the cache write but before the terminal record — the work is done), and
+// so is any record whose spec no longer resolves to its recorded id: the
+// id IS the content address, so a mismatch can only mean corruption, and
+// a corrupt record must be skipped, never run as the wrong job.
+func (s *Service) replayWAL(recs []walRecord) []*Job {
+	live := make(map[string]*JobSpec)
+	var order []string
+	for _, rec := range recs {
+		switch rec.T {
+		case walTypeAccepted:
+			if _, ok := live[rec.ID]; !ok {
+				order = append(order, rec.ID)
+			}
+			live[rec.ID] = rec.Spec
+		case walTypeFinished:
+			delete(live, rec.ID)
+		}
+	}
+	seen := make(map[string]bool)
+	var jobs []*Job
+	for _, id := range order {
+		spec, ok := live[id]
+		if !ok || seen[id] {
+			continue
+		}
+		seen[id] = true
+		if spec == nil {
+			s.cfg.Logf("wal: dropping job %s: accepted record has no spec", shortKey(id))
+			continue
+		}
+		ps, err := resolveSpec(spec)
+		if err != nil {
+			s.cfg.Logf("wal: dropping job %s: spec no longer resolves: %v", shortKey(id), err)
+			continue
+		}
+		if ps.key != id {
+			s.cfg.Logf("wal: dropping job %s: replayed spec resolves to %s", shortKey(id), shortKey(ps.key))
+			continue
+		}
+		if _, ok := s.cache.Get(ps.key); ok {
+			continue // already answered; the cache serves resubmissions
+		}
+		jobs = append(jobs, newJob(ps))
+	}
+	return jobs
 }
 
 // Registry exposes the service metrics for /v1/metrics and exit logs.
@@ -221,6 +344,9 @@ func (s *Service) Close() {
 	s.mu.Unlock()
 	close(s.queue)
 	s.wg.Wait()
+	if s.wal != nil {
+		s.wal.Close()
+	}
 }
 
 // Submit registers a submission and returns its job. existing reports
@@ -238,17 +364,46 @@ func (s *Service) Submit(spec *JobSpec) (job *Job, existing bool, err error) {
 		return nil, false, ErrClosed
 	}
 	if j, ok := s.jobs[ps.key]; ok {
-		// A failed job must not poison its content address forever: a
-		// transient crawl or pipeline failure would otherwise turn every
-		// identical resubmission into the old failure with no way to retry
-		// short of restarting the daemon. Queued/running/done jobs dedup;
-		// a failed one is replaced by a fresh attempt below.
-		if !j.isFailed() {
+		// A failed or cancelled job must not poison its content address
+		// forever: a transient crawl failure or an operator abort would
+		// otherwise turn every identical resubmission into the old outcome
+		// with no way to retry short of restarting the daemon.
+		// Queued/running/done jobs dedup; a terminal-unsuccessful one is
+		// replaced by a fresh attempt below.
+		if !j.retryable() {
 			s.mu.Unlock()
 			s.deduped.Inc()
 			return j, true, nil
 		}
 	}
+	// Backpressure by configured depth, not channel capacity: the channel
+	// may have been widened to absorb a WAL replay backlog, and all sends
+	// happen under s.mu, so this length check cannot go stale before the
+	// send below.
+	if len(s.queue) >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		return nil, false, ErrQueueFull
+	}
+	j := newJob(ps)
+	// Durability before visibility: the accepted record reaches stable
+	// storage before the job is registered or enqueued, so a worker's
+	// terminal record can never precede it and a crash after this point
+	// cannot lose the job. Registering inside the lock is what makes
+	// identical concurrent submissions singleflight: every later submitter
+	// finds this entry.
+	s.walAccept(ps)
+	s.jobs[ps.key] = j
+	s.queue <- j
+	s.mu.Unlock()
+	s.submitted.Inc()
+	return j, false, nil
+}
+
+// newJob constructs a queued job and arms its cancellation machinery: a
+// cancel-with-cause for DELETE and, when the spec carries a timeout, a
+// deadline that fires with errJobDeadline. The deadline clock starts at
+// acceptance (or re-acceptance, for WAL replays), not at worker pickup.
+func newJob(ps *jobSpec) *Job {
 	j := &Job{
 		ID:       ps.key,
 		spec:     ps,
@@ -258,20 +413,95 @@ func (s *Service) Submit(spec *JobSpec) (job *Job, existing bool, err error) {
 		trace:    obs.NewTrace(shortKey(ps.key)),
 	}
 	j.endQueue = j.trace.Start("queue")
-	// Registering inside the lock is what makes identical concurrent
-	// submissions singleflight: every later submitter finds this entry.
-	// The queue reservation happens under the same lock so a full queue
-	// can unregister without a window where a doomed job is visible.
-	select {
-	case s.queue <- j:
-		s.jobs[ps.key] = j
-		s.mu.Unlock()
-		s.submitted.Inc()
-		return j, false, nil
-	default:
-		s.mu.Unlock()
-		return nil, false, ErrQueueFull
+	ctx := context.Background()
+	if ps.timeout > 0 {
+		ctx, j.stopTimer = context.WithTimeoutCause(ctx, ps.timeout, errJobDeadline)
 	}
+	j.ctx, j.cancel = context.WithCancelCause(ctx)
+	return j
+}
+
+// walAccept journals an accepted job. Called with s.mu held, before the
+// job becomes visible. An append failure degrades durability, not
+// availability: the job still runs, it just will not survive a crash.
+func (s *Service) walAccept(ps *jobSpec) {
+	if s.wal == nil {
+		return
+	}
+	if err := s.wal.append(walRecord{T: walTypeAccepted, ID: ps.key, Spec: ps.walSpec()}); err != nil {
+		s.cfg.Logf("job %s: wal append failed: %v", shortKey(ps.key), err)
+		return
+	}
+	s.walRecords.Inc()
+}
+
+// walFinish journals a terminal transition so a restart will not replay
+// work that already settled.
+func (s *Service) walFinish(id, state string) {
+	if s.wal == nil {
+		return
+	}
+	if err := s.wal.append(walRecord{T: walTypeFinished, ID: id, State: state}); err != nil {
+		s.cfg.Logf("job %s: wal append failed: %v", shortKey(id), err)
+		return
+	}
+	s.walRecords.Inc()
+}
+
+// Cancel requests cancellation of a job. A queued job settles as
+// cancelled immediately; a running one is interrupted at its next
+// cooperative checkpoint (pipeline phase or rewiring round boundary) —
+// Done() is the way to wait for it. Cancelling a terminal job reports
+// ErrNotCancellable, an unknown id ErrUnknownJob.
+func (s *Service) Cancel(id string) (*Job, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	j.mu.Lock()
+	if terminalState(j.state) {
+		j.mu.Unlock()
+		return j, ErrNotCancellable
+	}
+	picked := j.picked
+	j.mu.Unlock()
+	j.cancel(errJobCancelled)
+	if !picked {
+		// Still queued: settle now instead of waiting for a worker to
+		// drain it. If a worker picked it up in the window since the check,
+		// cancelFinish loses the race harmlessly — the worker's first
+		// checkpoint sees the cancelled context instead.
+		s.finishCancel(j, errJobCancelled)
+	}
+	return j, nil
+}
+
+// finishCancel settles a job whose context fired. The guard in
+// cancelFinish makes the bookkeeping exactly-once no matter how many
+// paths (DELETE, deadline, worker checkpoint) observe the cancellation.
+func (s *Service) finishCancel(j *Job, cause error) {
+	if j.cancelFinish(cause) {
+		s.cancelled.Inc()
+		s.cfg.Logf("job %s: %v", shortKey(j.ID), cause)
+		s.walFinish(j.ID, StateCancelled)
+	}
+}
+
+// QueueRetryAfter estimates how long a rejected submitter should wait for
+// a queue slot: the live backlog divided across the worker pool, priced
+// at the median pipeline run (1s before any run has been observed),
+// clamped to [1s, 60s]. Pure wall-clock advice for the 429 Retry-After
+// header.
+func (s *Service) QueueRetryAfter() time.Duration {
+	backlog := int64(len(s.queue)) + s.running.Value()
+	p50 := s.pipelineUsec.Quantile(0.5)
+	if p50 <= 0 {
+		p50 = int64(time.Second / time.Microsecond)
+	}
+	d := time.Duration(p50) * time.Microsecond * time.Duration(backlog) / time.Duration(s.cfg.Workers)
+	return min(max(d, time.Second), time.Minute)
 }
 
 // forget drops a job from the table. Benchmarks use it to force repeated
@@ -333,14 +563,28 @@ func (j *Job) Result() (*Result, error) {
 	return j.res, nil
 }
 
-// startRun marks the worker pickup: the queue span ends, the queue
-// latency freezes, and the execution clock starts.
-func (j *Job) startRun() {
-	j.endQueue()
+// terminalState reports whether a job state admits no further
+// transitions.
+func terminalState(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
+
+// startPickup marks the worker pickup: the queue span ends, the queue
+// latency freezes, and the execution clock starts. It returns false when
+// the job already reached a terminal state — cancelled while queued — in
+// which case the worker must drop it without running anything.
+func (j *Job) startPickup() bool {
 	j.mu.Lock()
+	if terminalState(j.state) {
+		j.mu.Unlock()
+		return false
+	}
+	j.picked = true
 	j.started = time.Now()
 	j.queueUS = j.started.Sub(j.enqueued).Microseconds()
 	j.mu.Unlock()
+	j.endQueue()
+	return true
 }
 
 func (j *Job) setRunning(phase string) {
@@ -349,10 +593,25 @@ func (j *Job) setRunning(phase string) {
 	j.mu.Unlock()
 }
 
-func (j *Job) isFailed() bool {
+// retryable reports whether a resubmission should replace this job:
+// failed and cancelled are terminal-unsuccessful states that must not
+// answer for their content address forever.
+func (j *Job) retryable() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.state == StateFailed
+	return j.state == StateFailed || j.state == StateCancelled
+}
+
+// ctxErr polls the job's cancellation without blocking. It reads the
+// context and nothing else — no RNG, no shared maps — so a job that
+// completes was never perturbed by having been cancellable.
+func (j *Job) ctxErr() error {
+	select {
+	case <-j.ctx.Done():
+		return context.Cause(j.ctx)
+	default:
+		return nil
+	}
 }
 
 // release drops the submission payload — the parsed crawl and its
@@ -362,24 +621,74 @@ func (j *Job) isFailed() bool {
 // retain for status polling.
 func (j *Job) release() { j.spec = nil }
 
-func (j *Job) finish(res *Result, cached bool) {
+// releaseCtx tears down the context machinery once the job is terminal,
+// releasing the deadline timer and any goroutine parked on Done-derived
+// contexts.
+func (j *Job) releaseCtx() {
+	j.cancel(nil)
+	if j.stopTimer != nil {
+		j.stopTimer()
+	}
+}
+
+// finish, fail and cancelFinish are the three terminal transitions. Each
+// is guarded — the first one wins, later ones report false and change
+// nothing — so the cancellation races (DELETE vs worker completion vs
+// deadline) settle on exactly one outcome, one done-channel close, and
+// one WAL terminal record.
+
+func (j *Job) finish(res *Result, cached bool) bool {
 	j.mu.Lock()
+	if terminalState(j.state) {
+		j.mu.Unlock()
+		return false
+	}
 	j.state, j.phase = StateDone, ""
 	j.res, j.cached = res, cached
 	j.finished = time.Now()
 	j.release()
 	j.mu.Unlock()
+	j.releaseCtx()
 	close(j.done)
+	return true
 }
 
-func (j *Job) fail(err error) {
+func (j *Job) fail(err error) bool {
 	j.mu.Lock()
+	if terminalState(j.state) {
+		j.mu.Unlock()
+		return false
+	}
 	j.state, j.phase = StateFailed, ""
 	j.err = err
 	j.finished = time.Now()
 	j.release()
 	j.mu.Unlock()
+	j.releaseCtx()
 	close(j.done)
+	return true
+}
+
+func (j *Job) cancelFinish(cause error) bool {
+	j.mu.Lock()
+	if terminalState(j.state) {
+		j.mu.Unlock()
+		return false
+	}
+	j.state, j.phase = StateCancelled, ""
+	j.err = cause
+	j.finished = time.Now()
+	j.release()
+	picked := j.picked
+	j.mu.Unlock()
+	if !picked {
+		// No worker will ever pick this job up (startPickup skips terminal
+		// jobs), so close its queue span here — exactly once either way.
+		j.endQueue()
+	}
+	j.releaseCtx()
+	close(j.done)
+	return true
 }
 
 func (s *Service) worker() {
@@ -393,13 +702,21 @@ func (s *Service) worker() {
 
 // run executes one job: resolve the crawl (server-side for graphd
 // sources), consult the content-addressed cache, and only on a miss run
-// the restoration pipeline with the job's pinned seed.
+// the restoration pipeline with the job's pinned seed. The job context is
+// polled at the seams run owns (pickup, post-crawl) and inside the
+// pipeline at phase/round boundaries via core.Options.Ctx.
 func (s *Service) run(j *Job) {
 	if s.testBeforeRun != nil {
 		s.testBeforeRun(j)
 	}
-	j.startRun()
+	if !j.startPickup() {
+		return // cancelled while queued; already settled
+	}
 	s.queueUsec.Observe(j.queueUS)
+	if cause := j.ctxErr(); cause != nil {
+		s.finishCancel(j, cause)
+		return
+	}
 	crawl, key := j.spec.crawl, j.ID
 	if j.spec.graphd != nil {
 		j.setRunning(PhaseCrawling)
@@ -407,24 +724,32 @@ func (s *Service) run(j *Job) {
 		c, canon, err := s.crawlGraphd(j.spec)
 		endSpan()
 		if err != nil {
-			s.failed.Inc()
-			s.cfg.Logf("job %s: crawl failed: %v", shortKey(j.ID), err)
-			j.fail(err)
+			if j.fail(err) {
+				s.failed.Inc()
+				s.cfg.Logf("job %s: crawl failed: %v", shortKey(j.ID), err)
+				s.walFinish(j.ID, StateFailed)
+			}
 			return
 		}
 		crawl = c
 		// Re-key by crawl content: a graphd job and an inline submission
 		// of the identical crawl share one cache line.
 		key = resultKey(canon, j.spec)
+		if cause := j.ctxErr(); cause != nil {
+			s.finishCancel(j, cause)
+			return
+		}
 	}
 	endSpan := j.trace.Start("cache_read")
 	res, ok := s.cache.Get(key)
 	endSpan()
 	if ok {
-		s.cacheHits.Inc()
-		s.completed.Inc()
-		s.cfg.Logf("job %s: served from cache", shortKey(j.ID))
-		j.finish(res, true)
+		if j.finish(res, true) {
+			s.cacheHits.Inc()
+			s.completed.Inc()
+			s.cfg.Logf("job %s: served from cache", shortKey(j.ID))
+			s.walFinish(j.ID, StateDone)
+		}
 		return
 	}
 
@@ -435,6 +760,11 @@ func (s *Service) run(j *Job) {
 		SkipRewiring:     j.spec.skip,
 		ForbidDegenerate: j.spec.forbid,
 		RewireWorkers:    s.cfg.RewireWorkers,
+		// Cooperative cancellation: core polls this at phase boundaries
+		// (and passes it down to rewiring round boundaries). The polls read
+		// the context only, so a completing run is byte-identical whether
+		// or not it was cancellable.
+		Ctx: j.ctx,
 		// The job's timeline doubles as the pipeline trace: core records
 		// one span per phase into it. Wall clock only — byte-identical
 		// output with or without it.
@@ -454,9 +784,15 @@ func (s *Service) run(j *Job) {
 		pres, err = core.Restore(crawl, opts)
 	}
 	if err != nil {
-		s.failed.Inc()
-		s.cfg.Logf("job %s: pipeline failed: %v", shortKey(j.ID), err)
-		j.fail(err)
+		if errors.Is(err, errJobCancelled) || errors.Is(err, errJobDeadline) {
+			s.finishCancel(j, err)
+			return
+		}
+		if j.fail(err) {
+			s.failed.Inc()
+			s.cfg.Logf("job %s: pipeline failed: %v", shortKey(j.ID), err)
+			s.walFinish(j.ID, StateFailed)
+		}
 		return
 	}
 	s.pipelineUS.Add(pres.TotalTime.Microseconds())
@@ -471,8 +807,10 @@ func (s *Service) run(j *Job) {
 	s.encodeUsec.Observe(time.Since(encStart).Microseconds())
 	endSpan()
 	if err != nil {
-		s.failed.Inc()
-		j.fail(err)
+		if j.fail(err) {
+			s.failed.Inc()
+			s.walFinish(j.ID, StateFailed)
+		}
 		return
 	}
 	result := &Result{
@@ -495,10 +833,12 @@ func (s *Service) run(j *Job) {
 		// The result survives in memory; only persistence degraded.
 		s.cfg.Logf("job %s: cache persist failed: %v", shortKey(j.ID), err)
 	}
-	s.completed.Inc()
-	s.cfg.Logf("job %s: restored n=%d m=%d in %.0fms", shortKey(j.ID),
-		result.Meta.Nodes, result.Meta.Edges, result.Meta.TotalMS)
-	j.finish(result, false)
+	if j.finish(result, false) {
+		s.completed.Inc()
+		s.cfg.Logf("job %s: restored n=%d m=%d in %.0fms", shortKey(j.ID),
+			result.Meta.Nodes, result.Meta.Edges, result.Meta.TotalMS)
+		s.walFinish(j.ID, StateDone)
+	}
 }
 
 // crawlGraphd performs the server-side crawl of a graphd job through
@@ -556,6 +896,7 @@ func (s *Service) Healthz() map[string]any {
 		"jobs":    jobs,
 		"workers": s.cfg.Workers,
 		"queued":  len(s.queue),
+		"wal":     s.wal != nil,
 	}
 }
 

@@ -311,7 +311,7 @@ func TestFailedJobRetries(t *testing.T) {
 		t.Fatal(err)
 	}
 	<-job.Done()
-	if !job.isFailed() {
+	if !job.retryable() {
 		t.Fatal("job against a dead port did not fail")
 	}
 

@@ -1,0 +1,256 @@
+package restored
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The job WAL makes accepted work durable: every submission is appended
+// to a write-ahead journal under CacheDir *before* it becomes runnable,
+// and every terminal transition (done, failed, cancelled) appends a
+// tombstone. A daemon killed mid-pipeline therefore loses nothing — on
+// startup the journal is replayed, ids already answered by the result
+// cache are skipped, and the rest re-enqueue. Replay is idempotent by
+// construction: the recorded id IS the content address, and a replayed
+// spec re-resolves to the same id or is rejected as corrupt.
+//
+// Format: JSON lines, each prefixed by the IEEE CRC32 of its payload in
+// fixed-width hex — "crc32hex payload\n". The first record is a header
+// pinning the format version. Like the oracle crawl journal, a torn final
+// record (the crash-mid-append case an fsynced append-only file can
+// produce) is tolerated and truncated away; damage anywhere earlier is a
+// hard error, because silently dropping interior records would silently
+// drop accepted jobs.
+//
+// Everything in the WAL is recovery bookkeeping — wall-clock-only state.
+// Nothing here feeds the content address: the id stored in a record was
+// computed by resolveSpec before the WAL ever saw the job, and replay
+// re-derives it from the spec alone (TestTimingFieldsOutsideContentAddress
+// pins the schema split).
+
+// walName is the journal's filename under Config.CacheDir.
+const walName = "jobs.wal"
+
+// walVersion stamps the record format. Bump on incompatible changes; a
+// mismatched journal is rejected, not misread.
+const walVersion = 1
+
+// WAL record types.
+const (
+	walTypeHeader   = "h"
+	walTypeAccepted = "a"
+	walTypeFinished = "f"
+)
+
+// walRecord is one journal line. Exactly one shape per type:
+// header {t, version}; accepted {t, id, spec}; finished {t, id, state}.
+type walRecord struct {
+	T       string `json:"t"`
+	Version int    `json:"version,omitempty"`
+	ID      string `json:"id,omitempty"`
+	// State is the terminal state of a finished record: StateDone,
+	// StateFailed or StateCancelled. Failed and cancelled tombstones keep
+	// crashed retries honest: a job the operator cancelled must not rise
+	// from the dead on restart.
+	State string `json:"state,omitempty"`
+	// Spec is the accepted submission, normalized: crawl bytes canonical,
+	// method and rc resolved. Replaying it through resolveSpec must
+	// reproduce ID exactly — that equality is checked, so a corrupted or
+	// stale record can only be skipped, never run as the wrong job.
+	Spec *JobSpec `json:"spec,omitempty"`
+}
+
+// appendWALLine renders one record line: crc32hex, space, payload, \n.
+func appendWALLine(b []byte, rec walRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	b = fmt.Appendf(b, "%08x ", crc32.ChecksumIEEE(payload))
+	b = append(b, payload...)
+	return append(b, '\n'), nil
+}
+
+// decodeWALLine parses one journal line (without its trailing newline).
+func decodeWALLine(line []byte) (walRecord, error) {
+	var rec walRecord
+	if len(line) < 10 || line[8] != ' ' {
+		return rec, fmt.Errorf("malformed record framing")
+	}
+	var sum uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &sum); err != nil {
+		return rec, fmt.Errorf("malformed checksum: %v", err)
+	}
+	payload := line[9:]
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return rec, fmt.Errorf("checksum mismatch: recorded %08x, computed %08x", sum, got)
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, fmt.Errorf("decoding record: %v", err)
+	}
+	switch rec.T {
+	case walTypeHeader, walTypeAccepted, walTypeFinished:
+		return rec, nil
+	default:
+		return rec, fmt.Errorf("unknown record type %q", rec.T)
+	}
+}
+
+// parseWAL replays a journal image: the records of the intact prefix and
+// the byte offset that prefix ends at. A malformed or CRC-failing segment
+// is tolerated — reported via goodEnd < len(data) with a nil error — only
+// when nothing but that segment follows it (a torn tail, the shape a
+// crash mid-append leaves). Malformed content with records after it is
+// corruption, not tearing, and errors out.
+func parseWAL(data []byte) (recs []walRecord, goodEnd int, err error) {
+	for goodEnd < len(data) {
+		rest := data[goodEnd:]
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			// Unterminated tail: torn by definition (appends end in \n).
+			return recs, goodEnd, nil
+		}
+		rec, derr := decodeWALLine(rest[:nl])
+		if derr != nil {
+			if goodEnd+nl+1 >= len(data) {
+				return recs, goodEnd, nil // damaged final record: torn tail
+			}
+			return recs, goodEnd, fmt.Errorf("restored: wal record at byte %d: %v", goodEnd, derr)
+		}
+		if len(recs) == 0 {
+			if rec.T != walTypeHeader {
+				return nil, 0, fmt.Errorf("restored: wal does not start with a header record")
+			}
+			if rec.Version != walVersion {
+				return nil, 0, fmt.Errorf("restored: wal version %d, want %d", rec.Version, walVersion)
+			}
+		}
+		recs = append(recs, rec)
+		goodEnd += nl + 1
+	}
+	return recs, goodEnd, nil
+}
+
+// walJournal is the open journal: an append-only file whose every write
+// is CRC-framed and fsynced before the job it records becomes runnable.
+type walJournal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// openWAL opens (creating if absent) the journal at path, replays it, and
+// truncates a torn tail so appends continue from the last intact record.
+// The returned records exclude the header.
+func openWAL(path string) (*walJournal, []walRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	recs, goodEnd, err := parseWAL(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := &walJournal{f: f, path: path}
+	if err := f.Truncate(int64(goodEnd)); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(int64(goodEnd), 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if len(recs) == 0 {
+		if err := w.append(walRecord{T: walTypeHeader, Version: walVersion}); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return w, nil, nil
+	}
+	return w, recs[1:], nil
+}
+
+// append writes one record and syncs it to stable storage. Durability
+// before visibility: Submit calls this before the job can reach a worker,
+// so a job that might produce a terminal record always has its accepted
+// record on disk first.
+func (w *walJournal) append(rec walRecord) error {
+	line, err := appendWALLine(nil, rec)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(line); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// rewrite compacts the journal to a header plus recs, atomically
+// (write-temp, fsync, rename — the cache's own persistence idiom). Called
+// at startup after replay, when every record for a finished job is dead
+// weight; must not race appends.
+func (w *walJournal) rewrite(recs []walRecord) error {
+	var buf []byte
+	var err error
+	if buf, err = appendWALLine(buf, walRecord{T: walTypeHeader, Version: walVersion}); err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if buf, err = appendWALLine(buf, rec); err != nil {
+			return err
+		}
+	}
+	tmp := w.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	old := w.f
+	nf, err := os.OpenFile(w.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f = nf
+	return old.Close()
+}
+
+// Close releases the journal file.
+func (w *walJournal) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// walPath locates the journal under a cache dir.
+func walPath(cacheDir string) string { return filepath.Join(cacheDir, walName) }

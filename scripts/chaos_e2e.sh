@@ -1,0 +1,149 @@
+#!/usr/bin/env bash
+# chaos_e2e.sh — the crash-safety acceptance gate, run by `make chaos` and
+# CI's chaos job:
+#
+#   1. generate a graph, crawl it, and restore offline with cmd/restore —
+#      the byte-identity reference for everything that follows,
+#   2. boot a race-enabled restored daemon with a disk cache, submit the
+#      crawl as a slow job (high rc), wait until it is mid-pipeline, and
+#      kill the daemon with SIGKILL — no drain, no cleanup,
+#   3. restart restored on the same cache dir and require that the SAME
+#      job id — never resubmitted — is replayed from the job WAL, runs to
+#      completion, and downloads byte-identical to the offline restore,
+#   4. exercise cancellation over the wire: DELETE a running job, watch it
+#      settle as cancelled, and require the second DELETE to answer 409,
+#   5. boot a race-enabled graphd with every fault mode enabled (truncate,
+#      corrupt, stall, reset, plus transient 503s) and require a remote
+#      crawl through it byte-identical to the local crawl at the same seed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+. scripts/lib.sh
+
+tmp=$(mktemp -d)
+restored_pid=""
+graphd_pid=""
+cleanup() {
+  [ -n "$restored_pid" ] && kill "$restored_pid" 2>/dev/null || true
+  [ -n "$graphd_pid" ] && kill "$graphd_pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== building (daemons with -race) =="
+go build -o "$tmp/gengraph" ./cmd/gengraph
+go build -o "$tmp/crawl" ./cmd/crawl
+go build -o "$tmp/restore" ./cmd/restore
+go build -race -o "$tmp/restored" ./cmd/restored
+go build -race -o "$tmp/graphd" ./cmd/graphd
+
+echo "== generating graph + crawl =="
+"$tmp/gengraph" -dataset anybeat -scale 0.3 -seed 3 -out "$tmp/g.edges"
+"$tmp/crawl" -graph "$tmp/g.edges" -method rw -fraction 0.15 -seed 3 \
+  -save-crawl "$tmp/crawl.json" -out /dev/null
+
+# rc 100 keeps the rewiring phase busy for several seconds under -race:
+# long enough to guarantee the SIGKILL below lands mid-pipeline.
+rc=100
+
+echo "== offline restoration (the reference) =="
+"$tmp/restore" -crawl "$tmp/crawl.json" -rc $rc -seed 3 -compare=false \
+  -out-binary "$tmp/offline.sgrb" | grep 'restored:'
+
+# boot_restored ADDRFILE LOG — sets the globals restored_pid and url (no
+# command substitution: a subshell would swallow the pid).
+boot_restored() {
+  "$tmp/restored" -addr 127.0.0.1:0 -addr-file "$1" -workers 1 \
+    -cache-dir "$tmp/cache" >"$2" 2>&1 &
+  restored_pid=$!
+  wait_for_addr_file "$1" "$restored_pid" "$2"
+  url="http://$(cat "$1")"
+}
+
+wait_for_state() { # URL ID WANT [TRIES]
+  local url=$1 id=$2 want=$3 tries=${4:-600} state
+  for _ in $(seq "$tries"); do
+    state=$(curl -fsS "$url/v1/jobs/$id" | jq -r .state)
+    case "$state" in
+    "$want") return 0 ;;
+    failed) echo "error: job $id failed" >&2 && return 1 ;;
+    esac
+    sleep 0.1
+  done
+  echo "error: job $id stuck in '$state', want '$want'" >&2
+  return 1
+}
+
+echo "== boot #1: submit, wait until mid-pipeline, SIGKILL =="
+boot_restored "$tmp/addr1" "$tmp/restored1.log"
+printf '{"seed":3,"rc":%d,"crawl":%s}' $rc "$(cat "$tmp/crawl.json")" > "$tmp/job.json"
+id=$(curl -fsS -X POST --data-binary @"$tmp/job.json" "$url/v1/jobs" | jq -r .id)
+echo "job $id"
+wait_for_state "$url" "$id" running
+sleep 1 # let the pipeline get properly underway
+state=$(curl -fsS "$url/v1/jobs/$id" | jq -r .state)
+[ "$state" = running ] || { echo "error: job finished before the kill (state $state) — raise rc" >&2; exit 1; }
+kill -9 "$restored_pid"
+wait "$restored_pid" 2>/dev/null || true
+restored_pid=""
+echo "killed restored mid-job"
+
+echo "== boot #2: same cache dir — the WAL must replay the job =="
+boot_restored "$tmp/addr2" "$tmp/restored2.log"
+grep -q 'replayed from wal' "$tmp/restored2.log" || {
+  echo "error: restart did not replay the job; its log:" >&2
+  cat "$tmp/restored2.log" >&2
+  exit 1
+}
+curl -fsS "$url/v1/metrics" -o "$tmp/metrics2.txt"
+grep -q '^restored_jobs_replayed 1$' "$tmp/metrics2.txt" || {
+  echo "error: restored_jobs_replayed != 1" >&2
+  exit 1
+}
+wait_for_state "$url" "$id" done
+curl -fsS "$url/v1/jobs/$id/graph" -o "$tmp/recovered.sgrb"
+cmp "$tmp/offline.sgrb" "$tmp/recovered.sgrb"
+echo "recovered graph is byte-identical to the offline restore"
+
+echo "== boot #3: a second restart must NOT replay the finished job =="
+kill "$restored_pid" && wait "$restored_pid" 2>/dev/null || true
+restored_pid=""
+boot_restored "$tmp/addr3" "$tmp/restored3.log"
+curl -fsS "$url/v1/metrics" -o "$tmp/metrics3.txt"
+grep -q '^restored_jobs_replayed 0$' "$tmp/metrics3.txt" || {
+  echo "error: finished job was replayed again" >&2
+  exit 1
+}
+
+echo "== cancellation over the wire =="
+printf '{"seed":9,"rc":%d,"crawl":%s}' $rc "$(cat "$tmp/crawl.json")" > "$tmp/job2.json"
+cid=$(curl -fsS -X POST --data-binary @"$tmp/job2.json" "$url/v1/jobs" | jq -r .id)
+wait_for_state "$url" "$cid" running
+curl -fsS -X DELETE "$url/v1/jobs/$cid" > /dev/null
+wait_for_state "$url" "$cid" cancelled
+code=$(curl -s -o /dev/null -w '%{http_code}' -X DELETE "$url/v1/jobs/$cid")
+[ "$code" = 409 ] || { echo "error: second DELETE answered $code, want 409" >&2; exit 1; }
+curl -fsS "$url/v1/metrics" -o "$tmp/metrics4.txt"
+grep -q '^restored_jobs_cancelled 1$' "$tmp/metrics4.txt" || {
+  echo "error: restored_jobs_cancelled != 1" >&2
+  exit 1
+}
+echo "DELETE cancelled a running job; repeat DELETE answered 409"
+
+echo "== crawling through a graphd serving every fault mode =="
+"$tmp/graphd" -graph "$tmp/g.edges" -addr 127.0.0.1:0 -addr-file "$tmp/gaddr" \
+  -error-rate 0.1 -fault-truncate 0.05 -fault-corrupt 0.05 \
+  -fault-stall 0.05 -fault-stall-delay 10ms -fault-reset 0.05 \
+  -fault-seed 42 >"$tmp/graphd.log" 2>&1 &
+graphd_pid=$!
+wait_for_addr_file "$tmp/gaddr" "$graphd_pid" "$tmp/graphd.log"
+gurl="http://$(cat "$tmp/gaddr")"
+"$tmp/crawl" -graph "$tmp/g.edges" -method rw -fraction 0.1 -seed 7 -seed-node 17 \
+  -save-crawl "$tmp/local.json" -out /dev/null
+"$tmp/crawl" -url "$gurl" -method rw -fraction 0.1 -seed 7 -seed-node 17 -retries 40 \
+  -save-crawl "$tmp/remote.json" -out /dev/null
+cmp "$tmp/local.json" "$tmp/remote.json"
+faulted=$(curl -fsS "$gurl/v1/metrics" | awk '/^graphd_faulted /{print $2}')
+[ "${faulted:-0}" -gt 0 ] || { echo "error: graphd injected no faults — fair-weather run" >&2; exit 1; }
+echo "crawl under faults ($faulted injected) is byte-identical to the local crawl"
+
+echo "chaos e2e: OK"
