@@ -10,7 +10,7 @@ BENCHTIME ?= 5x
 # anything (queries/s especially).
 ORACLE_BENCHTIME ?= 2000x
 
-.PHONY: build test race bench bench-json bench-gate bench-oracle-json bench-props-json bench-restored-json oracle-e2e restored-e2e chaos trace-demo lint fuzz ci
+.PHONY: build test race bench bench-json bench-gate bench-oracle-json bench-props-json bench-restored-json bench-load-json oracle-e2e restored-e2e loadgen-e2e chaos trace-demo lint fuzz ci
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,15 @@ bench-props-json:
 bench-restored-json:
 	$(call record-bench,$(GO) test -run='^$$' -bench='^BenchmarkRestored' -benchmem -benchtime=$(ORACLE_BENCHTIME) ./internal/restored,BENCH_restored.json)
 
+# Workload-trajectory baseline: boot both daemons and drive the standard
+# seeded loadgen mix at them, recording the full correlated SLO report
+# (client histograms, server scrape deltas, cross-checks, verdict) as
+# BENCH_load.json — the serving-stack counterpart of the micro-benchmark
+# baselines above. Unlike record-bench targets this is not benchjson
+# output; the report is its own JSON format (see internal/loadgen).
+bench-load-json:
+	bash scripts/bench_load.sh BENCH_load.json
+
 # Client/server acceptance gate: boot graphd on a random port with
 # injected faults, crawl it over HTTP under -race, require byte-identical
 # output vs the in-memory path, resume from the journal, restore offline.
@@ -88,6 +97,14 @@ oracle-e2e:
 # counters, round-trip the binary codec through gengraph.
 restored-e2e:
 	bash scripts/restored_e2e.sh
+
+# Workload-observability acceptance gate: boot race-enabled graphd +
+# restored, crawl with -stats-json, run the seeded loadgen swarm twice
+# (identical schedule hashes required), and check the SLO report:
+# well-formed, client<->server correlation consistent, generous SLO
+# passes, unattainable SLO exits 2.
+loadgen-e2e:
+	bash scripts/loadgen_e2e.sh
 
 # Crash-safety acceptance gate: SIGKILL a race-enabled restored mid-job,
 # restart it on the same cache dir, require the WAL-replayed job to finish
@@ -123,4 +140,4 @@ fuzz:
 	$(GO) test ./internal/restored -run='^FuzzCacheKeyCanonicalization$$' -fuzz='^FuzzCacheKeyCanonicalization$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/restored -run='^FuzzJobJournal$$' -fuzz='^FuzzJobJournal$$' -fuzztime=$(FUZZTIME)
 
-ci: lint build test race fuzz bench oracle-e2e restored-e2e chaos
+ci: lint build test race fuzz bench oracle-e2e restored-e2e loadgen-e2e chaos

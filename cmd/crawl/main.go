@@ -9,9 +9,11 @@
 //	crawl -graph g.edges -method rw -fraction 0.1 -out sub.edges
 //	crawl -graph g.edges -method snowball -k 50 -fraction 0.05
 //	crawl -url http://127.0.0.1:8080 -fraction 0.1 -journal crawl.journal -save-crawl crawl.json
+//	crawl -url http://127.0.0.1:8080 -fraction 0.1 -stats-json stats.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -27,20 +29,21 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("crawl: ")
 	var (
-		path     = flag.String("graph", "", "graph edge list (local crawl)")
-		url      = flag.String("url", "", "graphd base URL (remote crawl), e.g. http://127.0.0.1:8080")
-		apiKey   = flag.String("api-key", "", "X-API-Key identifying this crawler to graphd's rate limiter")
-		journal  = flag.String("journal", "", "crawl journal path (with -url): answered queries persist here, and an interrupted crawl rerun with the same seed resumes without re-spending budget")
-		retries  = flag.Int("retries", 8, "max retries per API request (with -url)")
-		method   = flag.String("method", "rw", "rw, bfs, snowball, ff, mh, nbrw")
-		fraction = flag.Float64("fraction", 0.10, "fraction of nodes to query, in (0,1]")
-		k        = flag.Int("k", 50, "snowball neighbor cap")
-		pf       = flag.Float64("pf", 0.7, "forest fire burn probability")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		seedNode = flag.Int("seed-node", -1, "start node id (default: drawn from the RNG)")
-		out      = flag.String("out", "", "output subgraph edge list (default stdout)")
-		saveRaw  = flag.String("save-crawl", "", "also save the raw sampling list as JSON (feed to restore -crawl)")
-		stats    = flag.Bool("stats", false, "print oracle transport statistics to stderr after the crawl (with -url)")
+		path      = flag.String("graph", "", "graph edge list (local crawl)")
+		url       = flag.String("url", "", "graphd base URL (remote crawl), e.g. http://127.0.0.1:8080")
+		apiKey    = flag.String("api-key", "", "X-API-Key identifying this crawler to graphd's rate limiter")
+		journal   = flag.String("journal", "", "crawl journal path (with -url): answered queries persist here, and an interrupted crawl rerun with the same seed resumes without re-spending budget")
+		retries   = flag.Int("retries", 8, "max retries per API request (with -url)")
+		method    = flag.String("method", "rw", "rw, bfs, snowball, ff, mh, nbrw")
+		fraction  = flag.Float64("fraction", 0.10, "fraction of nodes to query, in (0,1]")
+		k         = flag.Int("k", 50, "snowball neighbor cap")
+		pf        = flag.Float64("pf", 0.7, "forest fire burn probability")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		seedNode  = flag.Int("seed-node", -1, "start node id (default: drawn from the RNG)")
+		out       = flag.String("out", "", "output subgraph edge list (default stdout)")
+		saveRaw   = flag.String("save-crawl", "", "also save the raw sampling list as JSON (feed to restore -crawl)")
+		stats     = flag.Bool("stats", false, "print oracle transport statistics to stderr after the crawl (with -url)")
+		statsJSON = flag.String("stats-json", "", "write oracle transport statistics as JSON to this path after the crawl; \"-\" = stdout (with -url)")
 	)
 	flag.Parse()
 	if (*path == "") == (*url == "") {
@@ -51,6 +54,9 @@ func main() {
 	}
 	if *journal != "" && *url == "" {
 		log.Fatal("-journal requires -url (local crawls are free to rerun)")
+	}
+	if *statsJSON != "" && *url == "" {
+		log.Fatal("-stats-json requires -url (transport stats only exist for remote crawls)")
 	}
 
 	var access sampling.Access
@@ -132,6 +138,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "crawl: oracle stats: cache_hits=%d prefetch_batches=%d prefetch_nodes=%d\n",
 				st.CacheHits, st.PrefetchBatches, st.PrefetchNodes)
 		}
+		if *statsJSON != "" {
+			if err := writeStatsJSON(*statsJSON, client.Stats()); err != nil {
+				log.Fatal(err)
+			}
+		}
 		if *journal != "" && len(c.Walk) > 0 {
 			if err := client.RecordWalk(c.Walk); err != nil {
 				log.Fatal(err)
@@ -165,4 +176,21 @@ func main() {
 	if err := graph.WriteEdgeList(w, sub.Graph); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// writeStatsJSON emits the oracle transport stats machine-readably, for
+// harnesses that post-process crawl telemetry ("-" = stdout).
+func writeStatsJSON(path string, st oracle.Stats) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(st)
 }

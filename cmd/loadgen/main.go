@@ -1,0 +1,197 @@
+// Command loadgen drives a deterministic open-loop traffic swarm at the
+// serving daemons and judges the run against a declared SLO.
+//
+// The schedule — inter-arrival gaps, op mix draws, target nodes, job
+// seeds — derives entirely from -seed, so two runs with the same flags
+// issue identical request sequences (the report's schedule.hash proves
+// it); only the measured latencies differ. The report correlates
+// client-observed histograms with the daemons' own /v1/metrics deltas and
+// cross-checks the two sides against each other.
+//
+// Usage:
+//
+//	loadgen -graphd http://127.0.0.1:8080 -duration 10s -rate 300
+//	loadgen -graphd URL -restored URL -crawl crawl.json -slo slo.json -out report.json
+//	loadgen -restored URL -crawl crawl.json -mix job=3,resubmit=2,cancel=1
+//
+// Exit status: 0 on success, 1 on operational error, 2 when the run
+// completed but failed the SLO.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"sgr/internal/loadgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var (
+		graphdURL   = flag.String("graphd", "", "graphd base URL (enables neighbor/batch ops)")
+		restoredURL = flag.String("restored", "", "restored base URL (enables job ops; requires -crawl)")
+		seed        = flag.Uint64("seed", 1, "schedule seed: same seed + flags = same request schedule")
+		clients     = flag.Int("clients", 32, "concurrent virtual clients")
+		rate        = flag.Float64("rate", 150, "aggregate target arrival rate, ops/s")
+		duration    = flag.Duration("duration", 5*time.Second, "arrival window")
+		mixFlag     = flag.String("mix", "", "op mix as op=weight,... (ops: neighbors,batch,job,resubmit,cancel; default depends on targets)")
+		batchSize   = flag.Int("batch", 8, "ids per batch request")
+		crawlPath   = flag.String("crawl", "", "crawl JSON submitted with restored jobs")
+		rc          = flag.Float64("rc", 5, "rewiring-attempt coefficient on submitted jobs")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		interval    = flag.Duration("interval", time.Second, "client-side snapshot interval")
+		sloPath     = flag.String("slo", "", "SLO spec JSON to judge the run against")
+		outPath     = flag.String("out", "", "write the JSON report here (default stdout)")
+		quiet       = flag.Bool("q", false, "suppress progress logging")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments: %v", flag.Args())
+	}
+
+	cfg := loadgen.Config{
+		GraphdURL:      *graphdURL,
+		RestoredURL:    *restoredURL,
+		Seed:           *seed,
+		Clients:        *clients,
+		Rate:           *rate,
+		Duration:       *duration,
+		BatchSize:      *batchSize,
+		RC:             *rc,
+		RequestTimeout: *timeout,
+		Interval:       *interval,
+	}
+	if !*quiet {
+		cfg.Logf = log.Printf
+	}
+	if *mixFlag != "" {
+		mix, err := parseMix(*mixFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Mix = mix
+	}
+	if *crawlPath != "" {
+		data, err := os.ReadFile(*crawlPath)
+		if err != nil {
+			log.Fatalf("reading crawl: %v", err)
+		}
+		cfg.CrawlJSON = data
+	}
+	if *sloPath != "" {
+		data, err := os.ReadFile(*sloPath)
+		if err != nil {
+			log.Fatalf("reading SLO spec: %v", err)
+		}
+		spec, err := loadgen.ParseSLO(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.SLO = spec
+	}
+
+	rep, err := loadgen.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out := os.Stdout
+	if *outPath != "" && *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+
+	if !*quiet {
+		summarize(rep)
+	}
+	if rep.SLO != nil && !rep.SLO.Pass {
+		os.Exit(2)
+	}
+}
+
+// parseMix parses "op=weight,op=weight" into a mix map.
+func parseMix(s string) (map[string]int, error) {
+	mix := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		op, wStr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -mix entry %q (want op=weight)", part)
+		}
+		w, err := strconv.Atoi(wStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad -mix weight in %q: %v", part, err)
+		}
+		mix[strings.TrimSpace(op)] = w
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("-mix %q has no entries", s)
+	}
+	return mix, nil
+}
+
+// summarize prints the run's headline numbers to stderr.
+func summarize(rep *loadgen.Report) {
+	log.Printf("run: %d events in %.1fs", rep.Schedule.Events, rep.WallMS/1e3)
+	for _, ep := range rep.Endpoints {
+		if ep.Requests == 0 {
+			continue
+		}
+		log.Printf("  %-18s %6d req  %6.1f rps  p50 %s  p99 %s  err %d  429 %d",
+			ep.Endpoint, ep.Requests, ep.RPS, usec(ep.P50USec), usec(ep.P99USec), ep.Errors, ep.RateLimited)
+	}
+	for _, c := range rep.Correlation {
+		state := "UNCHECKED"
+		if c.Checked {
+			state = "OK"
+			if !c.Consistent {
+				state = "MISMATCH"
+			}
+		}
+		log.Printf("  correlate %-24s client %d server %.0f  %s", c.Name, c.ClientExpected, c.ServerObserved, state)
+	}
+	if rep.SLO != nil {
+		verdict := "PASS"
+		if !rep.SLO.Pass {
+			verdict = "FAIL"
+		}
+		log.Printf("SLO: %s (%d checks)", verdict, len(rep.SLO.Checks))
+		checks := append([]loadgen.SLOCheck(nil), rep.SLO.Checks...)
+		sort.Slice(checks, func(i, j int) bool { return !checks[i].Pass && checks[j].Pass })
+		for _, c := range checks {
+			if c.Pass {
+				continue
+			}
+			name := c.Metric
+			if c.Endpoint != "" {
+				name = c.Endpoint + "." + c.Metric
+			}
+			log.Printf("  FAIL %-32s limit %g observed %g burn %.2f %s", name, c.Limit, c.Observed, c.Burn, c.Note)
+		}
+	}
+}
+
+// usec renders a microsecond latency human-readably.
+func usec(us int64) string {
+	return time.Duration(us * int64(time.Microsecond)).String()
+}

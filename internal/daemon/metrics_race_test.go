@@ -1,0 +1,97 @@
+package daemon
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"sgr/internal/obs"
+)
+
+// TestMetricsHandlerConcurrentScrapes hammers MetricsHandler while every
+// registered instrument is being written concurrently, and requires each
+// scrape to be a complete, well-formed exposition — parsed with
+// obs.ParseExposition, which validates histogram bucket monotonicity and
+// count agreement, so a torn scrape (half-updated buckets violating
+// cumulative order, _count disagreeing with +Inf) fails loudly. Run under
+// -race this is also the data-race gate for the whole registry→handler
+// path.
+func TestMetricsHandlerConcurrentScrapes(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("cc_requests_total", "requests")
+	g := reg.Gauge("cc_depth", "depth")
+	h := reg.Histogram("cc_latency_usec", "latency")
+	reg.GaugeFunc("cc_workers", "workers", func() int64 { return 3 })
+	handler := MetricsHandler(reg)
+
+	const (
+		writers           = 4
+		scrapers          = 4
+		writesPerWriter   = 5000
+		scrapesPerScraper = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < writesPerWriter; i++ {
+				c.Add(1)
+				g.Set(int64(i - w))
+				h.Observe(int64(i%7000 + 1))
+			}
+		}(w)
+	}
+	errs := make(chan error, scrapers*scrapesPerScraper)
+	for s := 0; s < scrapers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < scrapesPerScraper; i++ {
+				rr := httptest.NewRecorder()
+				handler.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/metrics", nil))
+				scrape, err := obs.ParseExposition(bytes.NewReader(rr.Body.Bytes()))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, ok := scrape.Histogram("cc_latency_usec"); !ok {
+					errs <- errMissing("cc_latency_usec")
+					return
+				}
+				if _, ok := scrape.Value("cc_requests_total"); !ok {
+					errs <- errMissing("cc_requests_total")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("mid-write scrape not well-formed: %v", err)
+	}
+
+	// After the dust settles, the final scrape reports the final totals.
+	rr := httptest.NewRecorder()
+	handler.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/metrics", nil))
+	scrape, err := obs.ParseExposition(bytes.NewReader(rr.Body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := scrape.Value("cc_requests_total"); v != writers*writesPerWriter {
+		t.Fatalf("final counter = %v, want %d", v, writers*writesPerWriter)
+	}
+	f, ok := scrape.Histogram("cc_latency_usec")
+	if !ok {
+		t.Fatal("final scrape lost the histogram")
+	}
+	if int64(f.Count) != int64(writers*writesPerWriter) {
+		t.Fatalf("final histogram count = %v, want %d", f.Count, writers*writesPerWriter)
+	}
+}
+
+type errMissing string
+
+func (e errMissing) Error() string { return "scrape missing " + string(e) }

@@ -1,0 +1,427 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sgr/internal/obs"
+	"sgr/internal/oracle"
+	"sgr/internal/restored"
+)
+
+// endpointStats is the client-side record for one endpoint key: a latency
+// histogram plus outcome counters. Every issued request lands in exactly
+// one of ok / rateLimited / errors (timeouts double-count into errors —
+// a timeout IS a failed request — with the timeout counter as the
+// diagnosis).
+type endpointStats struct {
+	requests    atomic.Int64
+	ok          atomic.Int64
+	errors      atomic.Int64
+	rateLimited atomic.Int64
+	timeouts    atomic.Int64
+	hist        *obs.Histogram // whole-request latency, microseconds
+}
+
+// runner executes one load run.
+type runner struct {
+	cfg   Config
+	httpc *http.Client
+
+	stats    map[string]*endpointStats
+	statKeys []string // sorted endpoint keys active in this run
+
+	// Cross-check accumulators (see correlate): how many server-side
+	// queries / job submissions the client's own 2xx answers imply.
+	graphdExpected atomic.Int64
+	submitsOK      atomic.Int64
+
+	// Job lifecycle outcomes.
+	jobsDone       atomic.Int64
+	jobsFailed     atomic.Int64
+	jobsUnfinished atomic.Int64
+	cancelsDone    atomic.Int64 // DELETE answered 200 (cancellation delivered)
+	cancelsTooLate atomic.Int64 // DELETE answered 409 (job already terminal)
+
+	// Interval rows collected by the sampler goroutine.
+	intervalMu sync.Mutex
+	intervals  []IntervalRow
+}
+
+// resolveMeta fills cfg.Nodes from graphd's /v1/meta and clamps BatchSize
+// to the server's advertised batch limit.
+func (r *runner) resolveMeta() error {
+	if r.cfg.GraphdURL == "" {
+		return nil
+	}
+	r.cfg.GraphdURL = strings.TrimRight(r.cfg.GraphdURL, "/")
+	resp, err := r.httpc.Get(r.cfg.GraphdURL + "/v1/meta")
+	if err != nil {
+		return fmt.Errorf("loadgen: fetching graphd meta: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: graphd meta: HTTP %d", resp.StatusCode)
+	}
+	var meta oracle.Meta
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		return fmt.Errorf("loadgen: decoding graphd meta: %w", err)
+	}
+	if r.cfg.Nodes <= 0 {
+		r.cfg.Nodes = meta.Nodes
+	}
+	if r.cfg.Mix[OpBatch] > 0 {
+		if meta.MaxBatch <= 0 {
+			return errors.New("loadgen: mix has batch ops but graphd advertises no batch endpoint")
+		}
+		if r.cfg.BatchSize > meta.MaxBatch {
+			r.cfg.BatchSize = meta.MaxBatch
+		}
+	}
+	return nil
+}
+
+// endpointsFor lists the endpoint keys a mix can touch.
+func endpointsFor(mix map[string]int) []string {
+	var keys []string
+	if mix[OpNeighbors] > 0 {
+		keys = append(keys, EPNeighbors)
+	}
+	if mix[OpBatch] > 0 {
+		keys = append(keys, EPBatch)
+	}
+	if mix[OpJob] > 0 || mix[OpResubmit] > 0 || mix[OpCancel] > 0 {
+		keys = append(keys, EPSubmit, EPPoll, EPDownload)
+	}
+	if mix[OpResubmit] > 0 {
+		keys = append(keys, EPResubmit)
+	}
+	if mix[OpCancel] > 0 {
+		keys = append(keys, EPCancel)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// run fires the schedule and assembles the report.
+func (r *runner) run(sched *Schedule) (*Report, error) {
+	r.stats = make(map[string]*endpointStats)
+	r.statKeys = endpointsFor(r.cfg.Mix)
+	for _, key := range r.statKeys {
+		r.stats[key] = &endpointStats{hist: obs.NewHistogram()}
+	}
+	if r.cfg.RestoredURL != "" {
+		r.cfg.RestoredURL = strings.TrimRight(r.cfg.RestoredURL, "/")
+	}
+
+	startScrapes := r.scrapeAll()
+
+	start := time.Now()
+	samplerDone := make(chan struct{})
+	go r.sampleIntervals(start, samplerDone)
+
+	// Open-loop dispatcher: walk the merged schedule, sleep until each
+	// event's planned offset, and fire it in its own goroutine — arrivals
+	// never wait for completions.
+	var wg sync.WaitGroup
+	for i := range sched.Events {
+		ev := &sched.Events[i]
+		if d := time.Until(start.Add(time.Duration(ev.AtUS) * time.Microsecond)); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.fire(ev)
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(samplerDone)
+
+	endScrapes := r.scrapeAll()
+	return r.buildReport(sched, wall, startScrapes, endScrapes), nil
+}
+
+// fire executes one scheduled event.
+func (r *runner) fire(ev *Event) {
+	switch ev.Op {
+	case OpNeighbors:
+		r.fireNeighbors(ev)
+	case OpBatch:
+		r.fireBatch(ev)
+	case OpJob:
+		r.fireJob(ev, EPSubmit, true)
+	case OpResubmit:
+		r.fireJob(ev, EPResubmit, false)
+	case OpCancel:
+		r.fireCancel(ev)
+	}
+}
+
+// timedRequest issues one HTTP request, observing its whole wall-clock
+// cost on the endpoint's histogram and classifying transport failures.
+// A nil error with status 0 never happens: callers classify by status.
+func (r *runner) timedRequest(ep, method, url string, body []byte) (int, []byte, error) {
+	st := r.stats[ep]
+	st.requests.Add(1)
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		st.errors.Add(1)
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	t0 := time.Now()
+	resp, err := r.httpc.Do(req)
+	if err != nil {
+		st.hist.Observe(time.Since(t0).Microseconds())
+		if isTimeout(err) {
+			st.timeouts.Add(1)
+		}
+		st.errors.Add(1)
+		return 0, nil, err
+	}
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	resp.Body.Close()
+	st.hist.Observe(time.Since(t0).Microseconds())
+	if err != nil {
+		if isTimeout(err) {
+			st.timeouts.Add(1)
+		}
+		st.errors.Add(1)
+		return 0, nil, err
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		st.rateLimited.Add(1)
+	}
+	return resp.StatusCode, respBody, nil
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return (errors.As(err, &ne) && ne.Timeout()) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// outcome bookkeeping shared by the fire functions: 2xx is ok, 429 was
+// already counted rate-limited by timedRequest, anything else is an error.
+func (r *runner) settle(ep string, status int) bool {
+	st := r.stats[ep]
+	switch {
+	case status >= 200 && status < 300:
+		st.ok.Add(1)
+		return true
+	case status == http.StatusTooManyRequests:
+		return false
+	default:
+		st.errors.Add(1)
+		return false
+	}
+}
+
+func (r *runner) fireNeighbors(ev *Event) {
+	url := fmt.Sprintf("%s/v1/nodes/%d/neighbors", r.cfg.GraphdURL, ev.Nodes[0])
+	status, _, err := r.timedRequest(EPNeighbors, http.MethodGet, url, nil)
+	if err != nil {
+		return
+	}
+	if r.settle(EPNeighbors, status) {
+		// One 200 page = one served query in graphd_queries_served.
+		r.graphdExpected.Add(1)
+	}
+}
+
+func (r *runner) fireBatch(ev *Event) {
+	var sb strings.Builder
+	sb.WriteString(r.cfg.GraphdURL)
+	sb.WriteString("/v1/neighbors?ids=")
+	for i, u := range ev.Nodes {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(u))
+	}
+	status, body, err := r.timedRequest(EPBatch, http.MethodGet, sb.String(), nil)
+	if err != nil || !r.settle(EPBatch, status) {
+		return
+	}
+	// The server charges one served query per non-error item; count what
+	// it actually answered so the cross-check survives private/unknown
+	// nodes in the target range.
+	var resp oracle.BatchNeighborsResponse
+	if json.Unmarshal(body, &resp) != nil {
+		return
+	}
+	served := int64(0)
+	for i := range resp.Results {
+		if resp.Results[i].Error == "" {
+			served++
+		}
+	}
+	r.graphdExpected.Add(served)
+}
+
+// jobSpecBody renders the submit body for a job seed. The spec shape is
+// identical for every event with the same seed, so resubmissions hit the
+// same content address.
+func (r *runner) jobSpecBody(seed uint64) []byte {
+	body, err := json.Marshal(&restored.JobSpec{Seed: seed, RC: r.cfg.RC, Crawl: r.cfg.CrawlJSON})
+	if err != nil {
+		// CrawlJSON was validated as JSON by the first successful submit;
+		// a marshal failure here is a programming error.
+		panic(fmt.Sprintf("loadgen: marshaling job spec: %v", err))
+	}
+	return body
+}
+
+// submit POSTs a job spec under the given endpoint key and returns the
+// decoded status when the submission was accepted.
+func (r *runner) submit(ep string, seed uint64) (*restored.JobStatus, bool) {
+	status, body, err := r.timedRequest(ep, http.MethodPost, r.cfg.RestoredURL+"/v1/jobs", r.jobSpecBody(seed))
+	if err != nil || !r.settle(ep, status) {
+		return nil, false
+	}
+	var st restored.JobStatus
+	if err := json.Unmarshal(body, &st); err != nil || st.ID == "" {
+		r.stats[ep].errors.Add(1)
+		return nil, false
+	}
+	// Every 2xx POST /v1/jobs either accepted a new job or deduped onto an
+	// existing one — the restored-side cross-check counts both.
+	r.submitsOK.Add(1)
+	return &st, true
+}
+
+// fireJob runs a submit → poll → download lifecycle. download=false stops
+// after the submit (OpResubmit measures the cache-hit answer itself).
+func (r *runner) fireJob(ev *Event, submitEP string, download bool) {
+	st, ok := r.submit(submitEP, ev.JobSeed)
+	if !ok {
+		return
+	}
+	if !download {
+		return
+	}
+	state := st.State
+	for polls := 0; state != restored.StateDone; polls++ {
+		switch state {
+		case restored.StateFailed, restored.StateCancelled:
+			r.jobsFailed.Add(1)
+			return
+		}
+		if polls >= r.cfg.MaxPolls {
+			r.jobsUnfinished.Add(1)
+			return
+		}
+		time.Sleep(r.cfg.PollInterval)
+		status, body, err := r.timedRequest(EPPoll, http.MethodGet, r.cfg.RestoredURL+"/v1/jobs/"+st.ID, nil)
+		if err != nil || !r.settle(EPPoll, status) {
+			r.jobsUnfinished.Add(1)
+			return
+		}
+		var js restored.JobStatus
+		if err := json.Unmarshal(body, &js); err != nil {
+			r.stats[EPPoll].errors.Add(1)
+			r.jobsUnfinished.Add(1)
+			return
+		}
+		state = js.State
+	}
+	status, _, err := r.timedRequest(EPDownload, http.MethodGet, r.cfg.RestoredURL+"/v1/jobs/"+st.ID+"/graph", nil)
+	if err == nil && r.settle(EPDownload, status) {
+		r.jobsDone.Add(1)
+	}
+}
+
+// fireCancel submits a fresh job and immediately DELETEs it. 200 means the
+// cancellation was delivered; 409 means the job already reached a terminal
+// state — expected when the pipeline outruns the DELETE, and not an error.
+func (r *runner) fireCancel(ev *Event) {
+	st, ok := r.submit(EPSubmit, ev.JobSeed)
+	if !ok {
+		return
+	}
+	status, _, err := r.timedRequest(EPCancel, http.MethodDelete, r.cfg.RestoredURL+"/v1/jobs/"+st.ID, nil)
+	if err != nil {
+		return
+	}
+	ep := r.stats[EPCancel]
+	switch status {
+	case http.StatusOK:
+		ep.ok.Add(1)
+		r.cancelsDone.Add(1)
+	case http.StatusConflict:
+		ep.ok.Add(1)
+		r.cancelsTooLate.Add(1)
+	default:
+		r.settle(EPCancel, status)
+	}
+}
+
+// sampleIntervals snapshots every endpoint histogram each cfg.Interval and
+// records the delta as one row — per-interval throughput and quantiles
+// without racing the live histograms (snapshots are detached copies).
+func (r *runner) sampleIntervals(start time.Time, done <-chan struct{}) {
+	prev := make(map[string]obs.HistogramSnapshot, len(r.statKeys))
+	for _, key := range r.statKeys {
+		prev[key] = obs.HistogramSnapshot{}
+	}
+	lastMS := 0.0
+	ticker := time.NewTicker(r.cfg.Interval)
+	defer ticker.Stop()
+	flush := func() {
+		nowMS := float64(time.Since(start).Microseconds()) / 1e3
+		secs := (nowMS - lastMS) / 1e3
+		if secs <= 0 {
+			return
+		}
+		row := IntervalRow{StartMS: lastMS, EndMS: nowMS, Endpoints: make(map[string]IntervalEndpoint)}
+		for _, key := range r.statKeys {
+			cur := r.stats[key].hist.Snapshot()
+			d := cur.Delta(prev[key])
+			prev[key] = cur
+			if d.Count == 0 {
+				continue
+			}
+			row.Endpoints[key] = IntervalEndpoint{
+				Requests: d.Count,
+				P50USec:  d.Quantile(0.50),
+				P99USec:  d.Quantile(0.99),
+				RPS:      float64(d.Count) / secs,
+			}
+		}
+		if len(row.Endpoints) == 0 {
+			return
+		}
+		r.intervalMu.Lock()
+		r.intervals = append(r.intervals, row)
+		r.intervalMu.Unlock()
+		lastMS = nowMS
+	}
+	for {
+		select {
+		case <-ticker.C:
+			flush()
+		case <-done:
+			flush()
+			return
+		}
+	}
+}

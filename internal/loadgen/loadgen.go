@@ -1,0 +1,257 @@
+// Package loadgen is the workload-observability side of the serving
+// stack: an open-loop load generator that drives a configurable mix of
+// traffic — neighbor queries and batched prefetch against graphd; job
+// submit/poll/download lifecycles, cache-hit resubmits, and cancellations
+// against restored — from N concurrent virtual clients, then judges the
+// run against a declared SLO.
+//
+// The request schedule is deterministic at a fixed seed: every virtual
+// client draws its exponential inter-arrival gaps, operation choices, and
+// target nodes/job seeds from its own PCG sub-stream
+// (sampling.SubStream), so two runs with the same seed and config issue
+// exactly the same requests in the same planned order — the schedule's
+// SHA-256 in the report pins it. Only wall-clock timings (latencies, how
+// far execution slips behind the plan) differ between runs; that is the
+// point: the workload is a reproducible experiment, the measurements are
+// the observation.
+//
+// Open-loop means arrivals never wait for completions — each scheduled
+// event fires in its own goroutine at its planned offset, the way real
+// traffic keeps arriving whether or not the server is keeping up — so
+// latency degradation under overload is visible instead of being absorbed
+// by a closed feedback loop (the coordinated-omission trap).
+//
+// Measurement is three-sided and correlated in one report:
+//
+//   - client-side: per-endpoint obs.Histograms (p50/p99/p999), error /
+//     429 / timeout counts, throughput, and per-interval rates from
+//     histogram snapshot deltas;
+//   - server-side: the daemons' own /v1/metrics scrapes, parsed with
+//     obs.ParseExposition, reported as counter deltas and run-window
+//     histogram quantiles;
+//   - cross-checks: client-observed successes against server counter
+//     deltas (e.g. every 200 neighbor page the clients counted must
+//     appear in graphd_queries_served), so a broken metric on either
+//     side fails the run instead of shipping a wrong baseline.
+//
+// An SLOSpec (JSON: per-endpoint quantile ceilings, error-rate caps,
+// throughput floors) evaluates the report to pass/fail with headroom and
+// burn per check; `make bench-load-json` records the whole report as
+// BENCH_load.json, the traffic-trajectory counterpart to the committed
+// micro-benchmark baselines.
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// Workload operations, the units of the schedule mix. Each op expands to
+// one or more HTTP requests recorded under per-endpoint keys (an OpJob is
+// a submit, a poll loop, and a download).
+const (
+	// OpNeighbors is one GET /v1/nodes/{id}/neighbors page from graphd.
+	OpNeighbors = "neighbors"
+	// OpBatch is one batched GET /v1/neighbors?ids=... from graphd.
+	OpBatch = "batch"
+	// OpJob is a full restored job lifecycle: submit a fresh seeded job,
+	// poll it to a terminal state, download the restored graph.
+	OpJob = "job"
+	// OpResubmit re-submits a job spec this client already submitted —
+	// the content-addressed cache-hit / singleflight-dedup path.
+	OpResubmit = "resubmit"
+	// OpCancel submits a fresh job and immediately DELETEs it.
+	OpCancel = "cancel"
+)
+
+// ops is the fixed op universe in canonical order (mix maps are walked in
+// this order so weighted draws never depend on map iteration).
+var ops = []string{OpNeighbors, OpBatch, OpJob, OpResubmit, OpCancel}
+
+// Per-endpoint stat keys: the granularity of histograms, SLO checks, and
+// report sections.
+const (
+	EPNeighbors = "graphd_neighbors"
+	EPBatch     = "graphd_batch"
+	EPSubmit    = "restored_submit"
+	EPPoll      = "restored_poll"
+	EPDownload  = "restored_download"
+	EPResubmit  = "restored_resubmit"
+	EPCancel    = "restored_cancel"
+)
+
+// Config parameterizes a load run.
+type Config struct {
+	// GraphdURL / RestoredURL are the daemons under load. At least one is
+	// required; graphd ops in the mix require GraphdURL, restored ops
+	// RestoredURL.
+	GraphdURL   string
+	RestoredURL string
+
+	// Seed pins the request schedule: inter-arrival gaps, op choices,
+	// target nodes, and job seeds all derive from per-client PCG
+	// sub-streams of it.
+	Seed uint64
+	// Clients is the number of concurrent virtual clients (default 32).
+	Clients int
+	// Rate is the aggregate target arrival rate in ops/s, split evenly
+	// across clients (default 150).
+	Rate float64
+	// Duration is the arrival window (default 5s). Jobs submitted near
+	// the end may finish after it; the run waits for them.
+	Duration time.Duration
+	// Mix maps op names (OpNeighbors, ...) to integer weights. Defaults
+	// depend on which URLs are configured.
+	Mix map[string]int
+
+	// Nodes is the served graph's node count, the target-id domain. 0
+	// fetches it from GraphdURL's /v1/meta before scheduling.
+	Nodes int
+	// BatchSize is the ids per OpBatch request (default 8, clamped to the
+	// server's advertised max_batch).
+	BatchSize int
+
+	// CrawlJSON is the inline crawl submitted with restored jobs
+	// (sampling.WriteJSON format); required when the mix has restored ops.
+	CrawlJSON []byte
+	// RC is the rewiring-attempt coefficient on submitted jobs (default 5
+	// — the paper default 500 makes every job a multi-second pipeline run,
+	// which is a soak test, not a traffic baseline).
+	RC float64
+
+	// RequestTimeout caps each HTTP request (default 10s); timeouts count
+	// against the endpoint's error budget.
+	RequestTimeout time.Duration
+	// Interval is the client-side snapshot period for per-interval rates
+	// (default 1s).
+	Interval time.Duration
+	// PollInterval / MaxPolls pace the job status poll loop (defaults
+	// 25ms, 400): a job not terminal after MaxPolls counts as unfinished.
+	PollInterval time.Duration
+	MaxPolls     int
+
+	// SLO, when set, is evaluated against the finished report.
+	SLO *SLOSpec
+
+	// Logf reports run progress (log.Printf-shaped; nil is silent).
+	Logf func(format string, args ...any)
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 32
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 150
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 8
+	}
+	if cfg.RC == 0 {
+		cfg.RC = 5
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 25 * time.Millisecond
+	}
+	if cfg.MaxPolls <= 0 {
+		cfg.MaxPolls = 400
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if len(cfg.Mix) == 0 {
+		cfg.Mix = DefaultMix(cfg.GraphdURL != "", cfg.RestoredURL != "")
+	}
+	return cfg
+}
+
+// DefaultMix returns the default op weights for the configured targets:
+// read-heavy graphd traffic with a steady trickle of restoration jobs,
+// cache hits, and cancellations.
+func DefaultMix(graphd, restored bool) map[string]int {
+	m := make(map[string]int)
+	if graphd {
+		m[OpNeighbors] = 12
+		m[OpBatch] = 3
+	}
+	if restored {
+		m[OpJob] = 2
+		m[OpResubmit] = 2
+		m[OpCancel] = 1
+	}
+	return m
+}
+
+// graphdOps / restoredOps classify ops by target daemon.
+var graphdOps = map[string]bool{OpNeighbors: true, OpBatch: true}
+var restoredOps = map[string]bool{OpJob: true, OpResubmit: true, OpCancel: true}
+
+// validate checks the mix against the configured targets.
+func (cfg Config) validate() error {
+	if cfg.GraphdURL == "" && cfg.RestoredURL == "" {
+		return errors.New("loadgen: at least one of GraphdURL and RestoredURL is required")
+	}
+	total := 0
+	for _, op := range ops {
+		w := cfg.Mix[op]
+		if w < 0 {
+			return fmt.Errorf("loadgen: negative weight %d for op %q", w, op)
+		}
+		total += w
+		if w > 0 && graphdOps[op] && cfg.GraphdURL == "" {
+			return fmt.Errorf("loadgen: op %q requires GraphdURL", op)
+		}
+		if w > 0 && restoredOps[op] && cfg.RestoredURL == "" {
+			return fmt.Errorf("loadgen: op %q requires RestoredURL", op)
+		}
+		if w > 0 && restoredOps[op] && len(cfg.CrawlJSON) == 0 {
+			return fmt.Errorf("loadgen: op %q requires CrawlJSON", op)
+		}
+	}
+	if total <= 0 {
+		return errors.New("loadgen: mix has no positive weights")
+	}
+	extra := make([]string, 0, len(cfg.Mix))
+	for op := range cfg.Mix {
+		if !graphdOps[op] && !restoredOps[op] {
+			extra = append(extra, op)
+		}
+	}
+	if len(extra) > 0 {
+		sort.Strings(extra)
+		return fmt.Errorf("loadgen: unknown op(s) in mix: %v", extra)
+	}
+	return nil
+}
+
+// Run executes a load run: resolve the target graph size, generate the
+// seeded schedule, scrape both daemons, fire the swarm, scrape again, and
+// assemble the correlated report (evaluating cfg.SLO when present).
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := &runner{cfg: cfg, httpc: &http.Client{Timeout: cfg.RequestTimeout}}
+	if err := r.resolveMeta(); err != nil {
+		return nil, err
+	}
+	sched, err := GenSchedule(r.cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.cfg.Logf("schedule: %d events over %v (%s)", len(sched.Events), r.cfg.Duration, sched.Hash[:12])
+	return r.run(sched)
+}

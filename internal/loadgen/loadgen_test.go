@@ -1,0 +1,348 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand/v2"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"sgr/internal/gen"
+	"sgr/internal/oracle"
+	"sgr/internal/restored"
+	"sgr/internal/sampling"
+)
+
+// TestScheduleDeterministic is the acceptance check for the seeded
+// schedule: the same (seed, config) materializes byte-identical event
+// sequences — equal hashes, equal events — while a different seed
+// diverges.
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Config{
+		GraphdURL:   "http://graphd",
+		RestoredURL: "http://restored",
+		Seed:        42,
+		Clients:     8,
+		Rate:        400,
+		Duration:    2 * time.Second,
+		Nodes:       500,
+		CrawlJSON:   []byte(`{}`),
+	}
+	a, err := GenSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash != b.Hash {
+		t.Fatalf("same seed, different hashes: %s vs %s", a.Hash, b.Hash)
+	}
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatal("same seed, different event sequences")
+	}
+	if !reflect.DeepEqual(a.PerOp, b.PerOp) {
+		t.Fatalf("same seed, different mixes: %v vs %v", a.PerOp, b.PerOp)
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("schedule is empty")
+	}
+
+	cfg.Seed = 43
+	c, err := GenSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Hash == a.Hash {
+		t.Fatal("different seeds produced the same schedule hash")
+	}
+}
+
+// TestScheduleShape pins structural invariants: merged planned order,
+// every mix op represented at default weights, op payloads populated, and
+// resubmit events reusing a seed the same client already submitted.
+func TestScheduleShape(t *testing.T) {
+	cfg := Config{
+		GraphdURL:   "http://graphd",
+		RestoredURL: "http://restored",
+		Seed:        7,
+		Clients:     4,
+		Rate:        600,
+		Duration:    3 * time.Second,
+		Nodes:       100,
+		BatchSize:   5,
+		CrawlJSON:   []byte(`{}`),
+	}
+	s, err := GenSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		if s.PerOp[op] == 0 {
+			t.Errorf("op %q never scheduled at default mix over %d events", op, len(s.Events))
+		}
+	}
+	prior := make(map[int]map[uint64]bool) // client -> seeds of its prior OpJob events
+	for i := range s.Events {
+		ev := &s.Events[i]
+		if i > 0 {
+			p := &s.Events[i-1]
+			if p.AtUS > ev.AtUS || (p.AtUS == ev.AtUS && p.Client > ev.Client) {
+				t.Fatalf("events out of planned order at %d", i)
+			}
+		}
+		switch ev.Op {
+		case OpNeighbors:
+			if len(ev.Nodes) != 1 || ev.Nodes[0] < 0 || ev.Nodes[0] >= cfg.Nodes {
+				t.Fatalf("bad neighbors target %v", ev.Nodes)
+			}
+		case OpBatch:
+			if len(ev.Nodes) != cfg.BatchSize {
+				t.Fatalf("batch event has %d ids, want %d", len(ev.Nodes), cfg.BatchSize)
+			}
+		case OpJob:
+			if prior[ev.Client] == nil {
+				prior[ev.Client] = make(map[uint64]bool)
+			}
+			prior[ev.Client][ev.JobSeed] = true
+		case OpResubmit:
+			if !prior[ev.Client][ev.JobSeed] {
+				t.Fatalf("resubmit event %d/%d reuses seed %d the client never submitted", ev.Client, ev.Seq, ev.JobSeed)
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no targets", Config{}},
+		{"graphd op without graphd", Config{RestoredURL: "http://r", Mix: map[string]int{OpNeighbors: 1}, CrawlJSON: []byte(`{}`)}},
+		{"restored op without restored", Config{GraphdURL: "http://g", Mix: map[string]int{OpJob: 1}}},
+		{"restored op without crawl", Config{RestoredURL: "http://r", Mix: map[string]int{OpJob: 1}}},
+		{"unknown op", Config{GraphdURL: "http://g", Mix: map[string]int{"frobnicate": 1, OpNeighbors: 1}}},
+		{"negative weight", Config{GraphdURL: "http://g", Mix: map[string]int{OpNeighbors: -1}}},
+		{"graphd ops without nodes", Config{GraphdURL: "http://g", Mix: map[string]int{OpNeighbors: 1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := GenSchedule(tc.cfg); err == nil {
+				t.Fatal("invalid config generated a schedule")
+			}
+		})
+	}
+}
+
+func TestParseSLO(t *testing.T) {
+	spec, err := ParseSLO([]byte(`{
+		"max_error_rate": 0.01,
+		"endpoints": {
+			"graphd_neighbors": {"p99_usec": 50000, "min_throughput_rps": 10},
+			"restored_submit": {"p50_usec": 100000, "max_error_rate": 0}
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *spec.MaxErrorRate != 0.01 {
+		t.Errorf("max_error_rate = %v", *spec.MaxErrorRate)
+	}
+	if spec.Endpoints[EPNeighbors].P99USec != 50000 {
+		t.Errorf("neighbors p99 = %d", spec.Endpoints[EPNeighbors].P99USec)
+	}
+	if mer := spec.Endpoints[EPSubmit].MaxErrorRate; mer == nil || *mer != 0 {
+		t.Errorf("submit max_error_rate = %v, want explicit 0", mer)
+	}
+	if _, err := ParseSLO([]byte(`{"endpoints":{"nope":{}}}`)); err == nil {
+		t.Error("unknown endpoint accepted")
+	}
+	if _, err := ParseSLO([]byte(`{"endpoints":{"graphd_neighbors":{"p99_us":1}}}`)); err == nil {
+		t.Error("unknown field (typo) accepted")
+	}
+}
+
+func TestSLOEvaluate(t *testing.T) {
+	rep := &Report{Endpoints: []EndpointReport{
+		{Endpoint: EPNeighbors, Requests: 1000, OK: 995, Errors: 5, ErrorRate: 0.005, RPS: 200, P50USec: 500, P99USec: 20000, P999USec: 50000},
+		{Endpoint: EPSubmit, Requests: 50, OK: 50, RPS: 10, P50USec: 2000, P99USec: 10000},
+	}}
+	rate := 0.01
+	spec := &SLOSpec{
+		MaxErrorRate: &rate,
+		Endpoints: map[string]EndpointSLO{
+			EPNeighbors: {P99USec: 50000, MinThroughputRPS: 100},
+			EPSubmit:    {P50USec: 5000},
+		},
+	}
+	res := spec.Evaluate(rep)
+	if !res.Pass {
+		t.Fatalf("healthy run failed SLO: %+v", res.Checks)
+	}
+	for _, c := range res.Checks {
+		if !c.Pass {
+			t.Errorf("check failed: %+v", c)
+		}
+		if c.Headroom <= 0 || c.Burn >= 1 {
+			t.Errorf("passing check with no headroom: %+v", c)
+		}
+	}
+
+	// Tighten the p99 ceiling below the observed value: fail with burn > 1.
+	spec.Endpoints[EPNeighbors] = EndpointSLO{P99USec: 10000}
+	res = spec.Evaluate(rep)
+	if res.Pass {
+		t.Fatal("run passed an unattainable p99 ceiling")
+	}
+	found := false
+	for _, c := range res.Checks {
+		if c.Endpoint == EPNeighbors && c.Metric == "p99_usec" {
+			found = true
+			if c.Pass || c.Burn <= 1 || c.Headroom >= 0 {
+				t.Errorf("failed ceiling reported wrong: %+v", c)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("p99 check missing")
+	}
+
+	// An SLO on an endpoint that saw no traffic fails, not vacuously passes.
+	spec = &SLOSpec{Endpoints: map[string]EndpointSLO{EPCancel: {P99USec: 1}}}
+	res = spec.Evaluate(rep)
+	if res.Pass {
+		t.Fatal("declared endpoint with zero traffic passed")
+	}
+	if res.Checks[0].Note == "" {
+		t.Error("zero-traffic failure carries no note")
+	}
+}
+
+// TestRunAgainstLiveServers drives a short seeded swarm at in-process
+// graphd and restored daemons and checks the full tentpole loop: the
+// report echoes the schedule hash GenSchedule computes for the same
+// config, client-side endpoint stats are populated, the server scrapes
+// parsed, the client↔server correlation checks hold exactly, and the SLO
+// verdict is evaluated.
+func TestRunAgainstLiveServers(t *testing.T) {
+	g := gen.HolmeKim(160, 3, 0.5, rand.New(rand.NewPCG(41, 42)))
+	crawl, err := sampling.SeededRandomWalk(sampling.NewGraphAccess(g), -1, 0.2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crawlJSON bytes.Buffer
+	if err := crawl.WriteJSON(&crawlJSON); err != nil {
+		t.Fatal(err)
+	}
+
+	graphd := httptest.NewServer(oracle.NewServer(g, oracle.ServerConfig{}).Handler())
+	defer graphd.Close()
+	svc, err := restored.New(restored.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	restoredTS := httptest.NewServer(restored.NewServer(svc).Handler())
+	defer restoredTS.Close()
+
+	cfg := Config{
+		GraphdURL:   graphd.URL,
+		RestoredURL: restoredTS.URL,
+		Seed:        12345,
+		Clients:     6,
+		Rate:        120,
+		Duration:    1500 * time.Millisecond,
+		CrawlJSON:   crawlJSON.Bytes(),
+		RC:          2,
+		Interval:    300 * time.Millisecond,
+		SLO: &SLOSpec{Endpoints: map[string]EndpointSLO{
+			EPNeighbors: {P99USec: 5_000_000},
+		}},
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The executed schedule is the one GenSchedule plans for this config
+	// (Nodes resolved from the live /v1/meta).
+	plan := cfg
+	plan.Nodes = rep.Config.Nodes
+	want, err := GenSchedule(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schedule.Hash != want.Hash {
+		t.Errorf("executed schedule hash %s, planned %s", rep.Schedule.Hash, want.Hash)
+	}
+	if rep.Schedule.Events == 0 {
+		t.Fatal("no events executed")
+	}
+
+	byEP := make(map[string]EndpointReport)
+	var totalReqs int64
+	for _, ep := range rep.Endpoints {
+		byEP[ep.Endpoint] = ep
+		totalReqs += ep.Requests
+		if ep.Requests > 0 && ep.P99USec <= 0 {
+			t.Errorf("endpoint %s has traffic but zero p99", ep.Endpoint)
+		}
+	}
+	if byEP[EPNeighbors].OK == 0 {
+		t.Error("no successful neighbor queries")
+	}
+	if byEP[EPSubmit].OK == 0 {
+		t.Error("no successful job submissions")
+	}
+	if totalReqs < int64(rep.Schedule.Events) {
+		t.Errorf("%d requests for %d scheduled events", totalReqs, rep.Schedule.Events)
+	}
+
+	for _, name := range []string{"graphd", "restored"} {
+		srv := rep.Servers[name]
+		if srv == nil || !srv.ScrapeOK {
+			t.Fatalf("server %s not scraped: %+v", name, srv)
+		}
+	}
+	if len(rep.Correlation) != 2 {
+		t.Fatalf("expected 2 correlation checks, got %d", len(rep.Correlation))
+	}
+	for _, c := range rep.Correlation {
+		if !c.Checked {
+			t.Errorf("correlation %s not checked", c.Name)
+		}
+		if !c.Consistent {
+			t.Errorf("correlation %s inconsistent: client %d, server %v", c.Name, c.ClientExpected, c.ServerObserved)
+		}
+		if c.ClientExpected == 0 {
+			t.Errorf("correlation %s saw no traffic", c.Name)
+		}
+	}
+
+	if rep.SLO == nil {
+		t.Fatal("SLO not evaluated")
+	}
+	if !rep.SLO.Pass {
+		t.Errorf("generous SLO failed: %+v", rep.SLO.Checks)
+	}
+	if len(rep.Intervals) == 0 {
+		t.Error("no interval rows recorded")
+	}
+
+	// The report must round-trip through JSON (it is BENCH_load.json).
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schedule.Hash != rep.Schedule.Hash {
+		t.Error("report did not round-trip through JSON")
+	}
+}

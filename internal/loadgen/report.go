@@ -1,0 +1,193 @@
+package loadgen
+
+import (
+	"sort"
+	"time"
+)
+
+// Report is the full outcome of a load run: the reproducible plan (config
+// echo + schedule summary), the client-side measurements, the server-side
+// scrape deltas, the client↔server cross-checks, and the SLO verdict.
+// Serialized as-is into BENCH_load.json.
+type Report struct {
+	Config      ConfigSummary            `json:"config"`
+	Schedule    ScheduleSummary          `json:"schedule"`
+	WallMS      float64                  `json:"wall_ms"`
+	Endpoints   []EndpointReport         `json:"endpoints"`
+	Jobs        JobsReport               `json:"jobs"`
+	Intervals   []IntervalRow            `json:"intervals,omitempty"`
+	Servers     map[string]*ServerReport `json:"servers,omitempty"`
+	Correlation []CorrelationCheck       `json:"correlation,omitempty"`
+	SLO         *SLOResult               `json:"slo,omitempty"`
+}
+
+// ConfigSummary echoes the run parameters that shaped the schedule, so a
+// recorded report is reproducible from its own header.
+type ConfigSummary struct {
+	Seed      uint64         `json:"seed"`
+	Clients   int            `json:"clients"`
+	RateRPS   float64        `json:"rate_rps"`
+	DurationS float64        `json:"duration_s"`
+	Mix       map[string]int `json:"mix"`
+	Nodes     int            `json:"nodes"`
+	BatchSize int            `json:"batch_size"`
+	RC        float64        `json:"rc"`
+}
+
+// ScheduleSummary pins the materialized schedule: Hash equal across runs
+// means the same requests were planned in the same order.
+type ScheduleSummary struct {
+	Events int            `json:"events"`
+	PerOp  map[string]int `json:"per_op"`
+	Hash   string         `json:"hash"`
+}
+
+// EndpointReport is the client-observed record for one endpoint.
+type EndpointReport struct {
+	Endpoint    string  `json:"endpoint"`
+	Requests    int64   `json:"requests"`
+	OK          int64   `json:"ok"`
+	Errors      int64   `json:"errors"`
+	RateLimited int64   `json:"rate_limited"`
+	Timeouts    int64   `json:"timeouts"`
+	ErrorRate   float64 `json:"error_rate"`
+	RPS         float64 `json:"rps"`
+	P50USec     int64   `json:"p50_usec"`
+	P99USec     int64   `json:"p99_usec"`
+	P999USec    int64   `json:"p999_usec"`
+	MeanUSec    float64 `json:"mean_usec"`
+}
+
+// JobsReport summarizes restored job lifecycles driven by the run.
+type JobsReport struct {
+	Done       int64 `json:"done"`
+	Failed     int64 `json:"failed"`
+	Unfinished int64 `json:"unfinished"`
+	// CancelsDelivered counts DELETEs answered 200; CancelsTooLate counts
+	// 409s — the job reached a terminal state before the DELETE landed,
+	// which is a race the workload deliberately provokes, not a failure.
+	CancelsDelivered int64 `json:"cancels_delivered"`
+	CancelsTooLate   int64 `json:"cancels_too_late"`
+}
+
+// IntervalRow is one client-side snapshot window.
+type IntervalRow struct {
+	StartMS   float64                     `json:"start_ms"`
+	EndMS     float64                     `json:"end_ms"`
+	Endpoints map[string]IntervalEndpoint `json:"endpoints"`
+}
+
+// IntervalEndpoint is one endpoint's traffic within one interval, computed
+// from histogram snapshot deltas (quantiles are per-interval, not
+// lifetime).
+type IntervalEndpoint struct {
+	Requests int64   `json:"requests"`
+	P50USec  int64   `json:"p50_usec"`
+	P99USec  int64   `json:"p99_usec"`
+	RPS      float64 `json:"rps"`
+}
+
+// ServerReport is one daemon's /v1/metrics story over the run window:
+// counters as start→end deltas, gauges at end-of-run value, histograms as
+// run-window quantiles from bucket deltas.
+type ServerReport struct {
+	// ScrapeOK is false when either scrape failed; Deltas/Histograms are
+	// then empty and Err says why. A missing scrape degrades the report
+	// instead of failing the run — the client-side story still stands.
+	ScrapeOK bool   `json:"scrape_ok"`
+	Err      string `json:"err,omitempty"`
+	// Deltas maps counter name → end-start difference.
+	Deltas map[string]float64 `json:"deltas,omitempty"`
+	// Gauges maps gauge/untyped name → end-of-run value.
+	Gauges map[string]float64 `json:"gauges,omitempty"`
+	// Histograms maps histogram name → run-window summary.
+	Histograms map[string]ServerHistogram `json:"histograms,omitempty"`
+}
+
+// ServerHistogram is a server histogram's run-window delta.
+type ServerHistogram struct {
+	Count   float64 `json:"count"`
+	SumUSec float64 `json:"sum_usec"`
+	P50USec float64 `json:"p50_usec"`
+	P99USec float64 `json:"p99_usec"`
+}
+
+// CorrelationCheck ties one client-side count to one server-side counter
+// delta. Consistent=false on a checked invariant means a metric is lying
+// on one side or the other.
+type CorrelationCheck struct {
+	Name           string  `json:"name"`
+	ClientExpected int64   `json:"client_expected"`
+	ServerObserved float64 `json:"server_observed"`
+	// Checked is false when the server scrape was unavailable; the check
+	// is then reported but not judged.
+	Checked    bool   `json:"checked"`
+	Consistent bool   `json:"consistent"`
+	Detail     string `json:"detail,omitempty"`
+}
+
+// buildReport assembles everything measured into the final Report.
+func (r *runner) buildReport(sched *Schedule, wall time.Duration, startScrapes, endScrapes map[string]*scrapeResult) *Report {
+	rep := &Report{
+		Config: ConfigSummary{
+			Seed:      r.cfg.Seed,
+			Clients:   r.cfg.Clients,
+			RateRPS:   r.cfg.Rate,
+			DurationS: r.cfg.Duration.Seconds(),
+			Mix:       r.cfg.Mix,
+			Nodes:     r.cfg.Nodes,
+			BatchSize: r.cfg.BatchSize,
+			RC:        r.cfg.RC,
+		},
+		Schedule: ScheduleSummary{Events: len(sched.Events), PerOp: sched.PerOp, Hash: sched.Hash},
+		WallMS:   float64(wall.Microseconds()) / 1e3,
+		Jobs: JobsReport{
+			Done:             r.jobsDone.Load(),
+			Failed:           r.jobsFailed.Load(),
+			Unfinished:       r.jobsUnfinished.Load(),
+			CancelsDelivered: r.cancelsDone.Load(),
+			CancelsTooLate:   r.cancelsTooLate.Load(),
+		},
+	}
+
+	secs := wall.Seconds()
+	for _, key := range r.statKeys {
+		st := r.stats[key]
+		snap := st.hist.Snapshot()
+		er := EndpointReport{
+			Endpoint:    key,
+			Requests:    st.requests.Load(),
+			OK:          st.ok.Load(),
+			Errors:      st.errors.Load(),
+			RateLimited: st.rateLimited.Load(),
+			Timeouts:    st.timeouts.Load(),
+			P50USec:     snap.Quantile(0.50),
+			P99USec:     snap.Quantile(0.99),
+			P999USec:    snap.Quantile(0.999),
+		}
+		if er.Requests > 0 {
+			er.ErrorRate = float64(er.Errors) / float64(er.Requests)
+		}
+		if secs > 0 {
+			er.RPS = float64(er.Requests) / secs
+		}
+		if snap.Count > 0 {
+			er.MeanUSec = float64(snap.Sum) / float64(snap.Count)
+		}
+		rep.Endpoints = append(rep.Endpoints, er)
+	}
+	sort.Slice(rep.Endpoints, func(i, j int) bool { return rep.Endpoints[i].Endpoint < rep.Endpoints[j].Endpoint })
+
+	r.intervalMu.Lock()
+	rep.Intervals = r.intervals
+	r.intervalMu.Unlock()
+
+	rep.Servers = buildServerReports(startScrapes, endScrapes)
+	rep.Correlation = r.correlate(rep.Servers)
+
+	if r.cfg.SLO != nil {
+		res := r.cfg.SLO.Evaluate(rep)
+		rep.SLO = &res
+	}
+	return rep
+}

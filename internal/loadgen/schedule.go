@@ -1,0 +1,156 @@
+package loadgen
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"sgr/internal/sampling"
+)
+
+// scheduleSalt separates the schedule's seed domain from every other
+// consumer of sampling.SubStream in the repository.
+const scheduleSalt = 0x6c6f616467656e21 // "loadgen!"
+
+// Event is one scheduled arrival: operation Seq of virtual client Client,
+// planned AtUS microseconds after the run starts. Everything a request
+// needs is drawn at schedule time, so execution spends no randomness —
+// the schedule IS the workload.
+type Event struct {
+	Client int    `json:"client"`
+	Seq    int    `json:"seq"`
+	AtUS   int64  `json:"at_usec"`
+	Op     string `json:"op"`
+	// Nodes are the graphd target ids (one for OpNeighbors, BatchSize for
+	// OpBatch).
+	Nodes []int `json:"nodes,omitempty"`
+	// JobSeed is the restored job's seed field. OpJob and OpCancel draw a
+	// fresh one; OpResubmit repeats the seed of an earlier OpJob of the
+	// same client, making it the same content-addressed job.
+	JobSeed uint64 `json:"job_seed,omitempty"`
+}
+
+// Schedule is a fully materialized run plan.
+type Schedule struct {
+	// Events holds every client's arrivals merged into planned order
+	// (ties broken by client then sequence — total and deterministic).
+	Events []Event
+	// PerOp counts scheduled events by op.
+	PerOp map[string]int
+	// Hash is the hex SHA-256 of the canonical event serialization: two
+	// runs with equal hashes issued identical request schedules.
+	Hash string
+}
+
+// maxEvents bounds a schedule against runaway rate×duration configs.
+const maxEvents = 1 << 22
+
+// GenSchedule materializes the deterministic request schedule for cfg.
+// Client i draws from sampling.SubStream(seed, seed^scheduleSalt, i): an
+// exponential inter-arrival process at Rate/Clients ops/s, a weighted op
+// choice, and the op's targets. The result depends only on (Seed, Clients,
+// Rate, Duration, Mix, Nodes, BatchSize) — never on wall clock, map
+// order, or the servers.
+func GenSchedule(cfg Config) (*Schedule, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	needNodes := cfg.Mix[OpNeighbors] > 0 || cfg.Mix[OpBatch] > 0
+	if needNodes && cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("loadgen: graphd ops need Config.Nodes (have %d)", cfg.Nodes)
+	}
+
+	// Cumulative weights in fixed op order for the weighted draw.
+	type weighted struct {
+		op  string
+		cum int
+	}
+	var wts []weighted
+	total := 0
+	for _, op := range ops {
+		if w := cfg.Mix[op]; w > 0 {
+			total += w
+			wts = append(wts, weighted{op, total})
+		}
+	}
+
+	perClientMean := float64(cfg.Clients) / cfg.Rate * 1e6 // µs between arrivals per client
+	horizonUS := cfg.Duration.Microseconds()
+	s := &Schedule{PerOp: make(map[string]int)}
+	for client := 0; client < cfg.Clients; client++ {
+		rng := sampling.SubStream(cfg.Seed, cfg.Seed^scheduleSalt, uint64(client))
+		var jobSeeds []uint64 // this client's OpJob seeds, for OpResubmit
+		at := int64(0)
+		for seq := 0; ; seq++ {
+			at += int64(rng.ExpFloat64() * perClientMean)
+			if at >= horizonUS {
+				break
+			}
+			if len(s.Events) >= maxEvents {
+				return nil, fmt.Errorf("loadgen: schedule exceeds %d events; lower Rate or Duration", maxEvents)
+			}
+			draw := rng.IntN(total)
+			op := wts[len(wts)-1].op
+			for _, w := range wts {
+				if draw < w.cum {
+					op = w.op
+					break
+				}
+			}
+			ev := Event{Client: client, Seq: seq, AtUS: at, Op: op}
+			switch op {
+			case OpNeighbors:
+				ev.Nodes = []int{rng.IntN(cfg.Nodes)}
+			case OpBatch:
+				ev.Nodes = make([]int, cfg.BatchSize)
+				for i := range ev.Nodes {
+					ev.Nodes[i] = rng.IntN(cfg.Nodes)
+				}
+			case OpJob:
+				ev.JobSeed = rng.Uint64()
+				jobSeeds = append(jobSeeds, ev.JobSeed)
+			case OpResubmit:
+				if len(jobSeeds) == 0 {
+					// Nothing to re-submit yet: the event becomes the
+					// client's first job instead (schedule-time decision, so
+					// it is as deterministic as everything else).
+					ev.Op = OpJob
+					ev.JobSeed = rng.Uint64()
+					jobSeeds = append(jobSeeds, ev.JobSeed)
+				} else {
+					ev.JobSeed = jobSeeds[rng.IntN(len(jobSeeds))]
+				}
+			case OpCancel:
+				ev.JobSeed = rng.Uint64()
+			}
+			s.Events = append(s.Events, ev)
+		}
+	}
+	sort.Slice(s.Events, func(i, j int) bool {
+		a, b := s.Events[i], s.Events[j]
+		if a.AtUS != b.AtUS {
+			return a.AtUS < b.AtUS
+		}
+		if a.Client != b.Client {
+			return a.Client < b.Client
+		}
+		return a.Seq < b.Seq
+	})
+	for i := range s.Events {
+		s.PerOp[s.Events[i].Op]++
+	}
+	s.Hash = hashEvents(s.Events)
+	return s, nil
+}
+
+// hashEvents digests the canonical serialization of the merged schedule.
+func hashEvents(events []Event) string {
+	h := sha256.New()
+	for i := range events {
+		ev := &events[i]
+		fmt.Fprintf(h, "%d/%d@%d %s %v %d\n", ev.Client, ev.Seq, ev.AtUS, ev.Op, ev.Nodes, ev.JobSeed)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

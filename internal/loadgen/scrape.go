@@ -1,0 +1,159 @@
+package loadgen
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+
+	"sgr/internal/obs"
+)
+
+// scrapeResult is one parsed /v1/metrics exposition (or the reason it was
+// unavailable).
+type scrapeResult struct {
+	scrape *obs.Scrape
+	err    error
+}
+
+// scrapeAll scrapes every configured daemon's metrics endpoint, keyed by
+// daemon name ("graphd", "restored"). Scrape failures are recorded, not
+// fatal: a daemon without reachable metrics degrades the report's server
+// side but the client-side measurements still stand.
+func (r *runner) scrapeAll() map[string]*scrapeResult {
+	out := make(map[string]*scrapeResult)
+	if r.cfg.GraphdURL != "" {
+		out["graphd"] = r.scrapeOne(r.cfg.GraphdURL + "/v1/metrics")
+	}
+	if r.cfg.RestoredURL != "" {
+		out["restored"] = r.scrapeOne(r.cfg.RestoredURL + "/v1/metrics")
+	}
+	return out
+}
+
+func (r *runner) scrapeOne(url string) *scrapeResult {
+	resp, err := r.httpc.Get(url)
+	if err != nil {
+		return &scrapeResult{err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &scrapeResult{err: fmt.Errorf("scrape %s: HTTP %d", url, resp.StatusCode)}
+	}
+	s, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		return &scrapeResult{err: fmt.Errorf("scrape %s: %w", url, err)}
+	}
+	return &scrapeResult{scrape: s}
+}
+
+// buildServerReports turns before/after scrape pairs into per-daemon
+// run-window summaries: counters as deltas, gauges at final value,
+// histograms as bucket-delta quantiles.
+func buildServerReports(start, end map[string]*scrapeResult) map[string]*ServerReport {
+	if len(end) == 0 {
+		return nil
+	}
+	out := make(map[string]*ServerReport, len(end))
+	names := make([]string, 0, len(end))
+	for name := range end {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := end[name]
+		s := start[name]
+		rep := &ServerReport{}
+		out[name] = rep
+		switch {
+		case e.err != nil:
+			rep.Err = e.err.Error()
+			continue
+		case s == nil || s.err != nil:
+			rep.Err = fmt.Sprintf("start scrape unavailable: %v", scrapeErr(s))
+			continue
+		}
+		rep.ScrapeOK = true
+		rep.Deltas = make(map[string]float64)
+		rep.Gauges = make(map[string]float64)
+		rep.Histograms = make(map[string]ServerHistogram)
+		for _, fam := range e.scrape.Names() {
+			f := e.scrape.Families[fam]
+			switch f.Type {
+			case "counter":
+				prev := 0.0
+				if pf, ok := s.scrape.Families[fam]; ok && pf.Type == "counter" {
+					prev = pf.Value
+				}
+				rep.Deltas[fam] = f.Value - prev
+			case "histogram":
+				prev, _ := s.scrape.Histogram(fam)
+				d, err := obs.DeltaHistogram(f, prev)
+				if err != nil {
+					// A histogram that changed shape mid-run (daemon
+					// restart) falls back to its lifetime view.
+					d = f
+				}
+				rep.Histograms[fam] = ServerHistogram{
+					Count:   d.Count,
+					SumUSec: d.Sum,
+					P50USec: d.Quantile(0.50),
+					P99USec: d.Quantile(0.99),
+				}
+			default: // gauge, untyped
+				rep.Gauges[fam] = f.Value
+			}
+		}
+	}
+	return out
+}
+
+func scrapeErr(s *scrapeResult) error {
+	if s == nil {
+		return fmt.Errorf("not scraped")
+	}
+	return s.err
+}
+
+// correlate cross-checks client-observed success counts against server
+// counter deltas. The invariants come from the daemons' own accounting:
+//
+//   - graphd charges graphd_queries_served once per 200 neighbor page and
+//     once per non-error batch item — exactly what the clients counted in
+//     graphdExpected;
+//   - restored charges restored_jobs_submitted or restored_jobs_deduped
+//     (never both) for every accepted submission — together they must
+//     equal the clients' 2xx POST /v1/jobs count.
+//
+// Other traffic against the daemons during the run window would break the
+// equalities, so correlation is only meaningful on an otherwise-idle
+// deployment (which is how the e2e and bench harnesses run it).
+func (r *runner) correlate(servers map[string]*ServerReport) []CorrelationCheck {
+	var checks []CorrelationCheck
+	if r.cfg.GraphdURL != "" {
+		c := CorrelationCheck{
+			Name:           "graphd_queries_served",
+			ClientExpected: r.graphdExpected.Load(),
+			Detail:         "server queries-served delta vs client 200 neighbor pages + non-error batch items",
+		}
+		if srv := servers["graphd"]; srv != nil && srv.ScrapeOK {
+			c.ServerObserved = srv.Deltas["graphd_queries_served"]
+			c.Checked = true
+			c.Consistent = c.ServerObserved == float64(c.ClientExpected)
+		}
+		checks = append(checks, c)
+	}
+	if r.cfg.RestoredURL != "" {
+		c := CorrelationCheck{
+			Name:           "restored_jobs_accepted",
+			ClientExpected: r.submitsOK.Load(),
+			Detail:         "server submitted+deduped delta vs client 2xx job submissions",
+		}
+		if srv := servers["restored"]; srv != nil && srv.ScrapeOK {
+			c.ServerObserved = srv.Deltas["restored_jobs_submitted"] + srv.Deltas["restored_jobs_deduped"]
+			c.Checked = true
+			c.Consistent = c.ServerObserved == float64(c.ClientExpected)
+		}
+		checks = append(checks, c)
+	}
+	return checks
+}

@@ -1,0 +1,165 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// SLOSpec declares what a load run must achieve: per-endpoint latency
+// ceilings, error-rate caps, and throughput floors, plus an optional
+// global error-rate cap across all endpoints. JSON-declared so specs live
+// next to the workloads they judge.
+type SLOSpec struct {
+	// MaxErrorRate caps the aggregate error rate over every endpoint
+	// (errors / requests, 429s excluded). Nil skips the global check.
+	MaxErrorRate *float64 `json:"max_error_rate,omitempty"`
+	// Endpoints maps endpoint keys (EPNeighbors, ...) to their objectives.
+	// A declared endpoint that saw no traffic fails its checks: an SLO on
+	// an endpoint the workload never exercised is a broken experiment,
+	// not a vacuous pass.
+	Endpoints map[string]EndpointSLO `json:"endpoints,omitempty"`
+}
+
+// EndpointSLO is one endpoint's objectives. Zero-valued fields are
+// unchecked.
+type EndpointSLO struct {
+	P50USec          int64    `json:"p50_usec,omitempty"`
+	P99USec          int64    `json:"p99_usec,omitempty"`
+	P999USec         int64    `json:"p999_usec,omitempty"`
+	MaxErrorRate     *float64 `json:"max_error_rate,omitempty"`
+	MinThroughputRPS float64  `json:"min_throughput_rps,omitempty"`
+}
+
+// ParseSLO strictly decodes a JSON SLO spec: unknown fields are an error,
+// catching typos ("p99_us") that would otherwise silently skip a check.
+func ParseSLO(data []byte) (*SLOSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var spec SLOSpec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("loadgen: parsing SLO spec: %w", err)
+	}
+	for ep := range spec.Endpoints {
+		if !validEndpoints[ep] {
+			return nil, fmt.Errorf("loadgen: SLO spec names unknown endpoint %q", ep)
+		}
+	}
+	return &spec, nil
+}
+
+var validEndpoints = map[string]bool{
+	EPNeighbors: true, EPBatch: true,
+	EPSubmit: true, EPPoll: true, EPDownload: true, EPResubmit: true, EPCancel: true,
+}
+
+// SLOCheck is one evaluated objective.
+type SLOCheck struct {
+	Endpoint string  `json:"endpoint,omitempty"` // empty for global checks
+	Metric   string  `json:"metric"`
+	Limit    float64 `json:"limit"`
+	Observed float64 `json:"observed"`
+	Pass     bool    `json:"pass"`
+	// Headroom is the fraction of budget left (0.25 = passing with 25% to
+	// spare); Burn is the fraction consumed (observed/limit for ceilings,
+	// limit/observed for floors — burn > 1 means the check failed).
+	Headroom float64 `json:"headroom"`
+	Burn     float64 `json:"burn"`
+	Note     string  `json:"note,omitempty"`
+}
+
+// SLOResult is the verdict on a run.
+type SLOResult struct {
+	Pass   bool       `json:"pass"`
+	Checks []SLOCheck `json:"checks"`
+}
+
+// Evaluate judges a finished report against the spec.
+func (spec *SLOSpec) Evaluate(rep *Report) SLOResult {
+	byEP := make(map[string]*EndpointReport, len(rep.Endpoints))
+	for i := range rep.Endpoints {
+		byEP[rep.Endpoints[i].Endpoint] = &rep.Endpoints[i]
+	}
+	res := SLOResult{Pass: true}
+	add := func(c SLOCheck) {
+		if !c.Pass {
+			res.Pass = false
+		}
+		res.Checks = append(res.Checks, c)
+	}
+
+	if spec.MaxErrorRate != nil {
+		var reqs, errs int64
+		for i := range rep.Endpoints {
+			reqs += rep.Endpoints[i].Requests
+			errs += rep.Endpoints[i].Errors
+		}
+		rate := 0.0
+		if reqs > 0 {
+			rate = float64(errs) / float64(reqs)
+		}
+		add(ceiling("", "error_rate", *spec.MaxErrorRate, rate))
+	}
+
+	eps := make([]string, 0, len(spec.Endpoints))
+	for ep := range spec.Endpoints {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		slo := spec.Endpoints[ep]
+		er := byEP[ep]
+		if er == nil || er.Requests == 0 {
+			add(SLOCheck{Endpoint: ep, Metric: "traffic", Limit: 1, Observed: 0, Pass: false, Burn: 1, Note: "no traffic observed on declared endpoint"})
+			continue
+		}
+		if slo.P50USec > 0 {
+			add(ceiling(ep, "p50_usec", float64(slo.P50USec), float64(er.P50USec)))
+		}
+		if slo.P99USec > 0 {
+			add(ceiling(ep, "p99_usec", float64(slo.P99USec), float64(er.P99USec)))
+		}
+		if slo.P999USec > 0 {
+			add(ceiling(ep, "p999_usec", float64(slo.P999USec), float64(er.P999USec)))
+		}
+		if slo.MaxErrorRate != nil {
+			add(ceiling(ep, "error_rate", *slo.MaxErrorRate, er.ErrorRate))
+		}
+		if slo.MinThroughputRPS > 0 {
+			add(floor(ep, "throughput_rps", slo.MinThroughputRPS, er.RPS))
+		}
+	}
+	return res
+}
+
+// ceiling checks observed <= limit.
+func ceiling(ep, metric string, limit, observed float64) SLOCheck {
+	c := SLOCheck{Endpoint: ep, Metric: metric, Limit: limit, Observed: observed, Pass: observed <= limit}
+	if limit > 0 {
+		c.Burn = observed / limit
+		c.Headroom = 1 - c.Burn
+	} else if observed > 0 {
+		// limit 0 with observed > 0: infinite burn, expressed as the
+		// largest meaningful marker without dragging Inf into JSON.
+		c.Burn = observed
+		c.Headroom = -observed
+	} else {
+		c.Headroom = 1
+	}
+	return c
+}
+
+// floor checks observed >= limit.
+func floor(ep, metric string, limit, observed float64) SLOCheck {
+	c := SLOCheck{Endpoint: ep, Metric: metric, Limit: limit, Observed: observed, Pass: observed >= limit}
+	if observed > 0 {
+		c.Burn = limit / observed
+		c.Headroom = 1 - c.Burn
+	} else {
+		c.Burn = 1
+		c.Headroom = 0
+		c.Pass = limit <= 0
+	}
+	return c
+}

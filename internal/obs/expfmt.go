@@ -1,0 +1,439 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of the exposition contract: a parser for the
+// Prometheus text format 0.0.4 that WritePrometheus (and therefore
+// daemon.MetricsHandler) emits. The load generator scrapes both daemons
+// through it to correlate client-observed latency with server-side
+// histograms, and the e2e scripts use the same grammar instead of ad-hoc
+// awk. The parser accepts the full sample grammar (labels, optional
+// timestamps), not just what this repository writes, so it also reads
+// scrapes from foreign exporters.
+
+// Family is one parsed metric family: a scalar (counter, gauge, untyped)
+// or a histogram reassembled from its _bucket/_sum/_count samples.
+type Family struct {
+	Name string
+	Help string
+	// Type is "counter", "gauge", "histogram", or "untyped" (samples that
+	// never saw a # TYPE line).
+	Type string
+
+	// Value is the scalar sample for non-histogram families.
+	Value float64
+
+	// Buckets are the cumulative le-labeled bucket samples of a histogram
+	// family in ascending le order (+Inf last); Sum and Count mirror the
+	// _sum/_count samples.
+	Buckets []Bucket
+	Sum     float64
+	Count   float64
+}
+
+// Bucket is one cumulative histogram bucket: the count of observations
+// less than or equal to LE (math.Inf(1) for the +Inf bucket).
+type Bucket struct {
+	LE  float64
+	Cum float64
+}
+
+// Quantile reads the q-quantile (0 < q <= 1) from a histogram family's
+// cumulative buckets with the same upper-bound semantics as
+// Histogram.Quantile: the smallest bucket bound covering the
+// ceil(q·count)-th observation, the last finite bound for observations in
+// +Inf, and 0 for an empty histogram. Round-trip property: on a scrape of
+// WritePrometheus output this reproduces the emitted _p50/_p99/_p999
+// readouts exactly.
+func (f *Family) Quantile(q float64) float64 {
+	if len(f.Buckets) == 0 {
+		return 0
+	}
+	total := f.Buckets[len(f.Buckets)-1].Cum
+	if total <= 0 {
+		return 0
+	}
+	rank := math.Ceil(q * total)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	lastFinite := 0.0
+	for _, b := range f.Buckets {
+		if !math.IsInf(b.LE, 1) {
+			lastFinite = b.LE
+		}
+		if b.Cum >= rank {
+			if math.IsInf(b.LE, 1) {
+				break
+			}
+			return b.LE
+		}
+	}
+	return lastFinite
+}
+
+// DeltaHistogram returns the interval histogram cur−prev as a fresh
+// Family: bucket-wise cumulative-count differences plus Sum/Count deltas.
+// Both families must be histograms over the same bucket layout; negative
+// deltas (counter resets, mismatched scrapes) clamp to zero.
+func DeltaHistogram(cur, prev *Family) (*Family, error) {
+	if cur == nil {
+		return nil, fmt.Errorf("obs: DeltaHistogram: nil current family")
+	}
+	if prev == nil {
+		cp := *cur
+		cp.Buckets = append([]Bucket(nil), cur.Buckets...)
+		return &cp, nil
+	}
+	if len(cur.Buckets) != len(prev.Buckets) {
+		return nil, fmt.Errorf("obs: DeltaHistogram %s: bucket layouts differ (%d vs %d)",
+			cur.Name, len(cur.Buckets), len(prev.Buckets))
+	}
+	d := &Family{Name: cur.Name, Help: cur.Help, Type: cur.Type}
+	d.Buckets = make([]Bucket, len(cur.Buckets))
+	for i := range cur.Buckets {
+		if cur.Buckets[i].LE != prev.Buckets[i].LE {
+			return nil, fmt.Errorf("obs: DeltaHistogram %s: bucket %d bound %v vs %v",
+				cur.Name, i, cur.Buckets[i].LE, prev.Buckets[i].LE)
+		}
+		v := cur.Buckets[i].Cum - prev.Buckets[i].Cum
+		if v < 0 {
+			v = 0
+		}
+		d.Buckets[i] = Bucket{LE: cur.Buckets[i].LE, Cum: v}
+	}
+	if d.Sum = cur.Sum - prev.Sum; d.Sum < 0 {
+		d.Sum = 0
+	}
+	if d.Count = cur.Count - prev.Count; d.Count < 0 {
+		d.Count = 0
+	}
+	return d, nil
+}
+
+// Scrape is one parsed exposition document.
+type Scrape struct {
+	Families map[string]*Family
+}
+
+// Value returns the scalar value of a counter/gauge/untyped family.
+func (s *Scrape) Value(name string) (float64, bool) {
+	f, ok := s.Families[name]
+	if !ok || f.Type == kindHistogram {
+		return 0, false
+	}
+	return f.Value, true
+}
+
+// Histogram returns the named histogram family.
+func (s *Scrape) Histogram(name string) (*Family, bool) {
+	f, ok := s.Families[name]
+	if !ok || f.Type != kindHistogram {
+		return nil, false
+	}
+	return f, true
+}
+
+// Names returns every family name in sorted order.
+func (s *Scrape) Names() []string {
+	out := make([]string, 0, len(s.Families))
+	for name := range s.Families {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseExposition parses a Prometheus text-format 0.0.4 document. Samples
+// suffixed _bucket/_sum/_count attach to the histogram family a preceding
+// `# TYPE name histogram` line declared; everything else is a scalar
+// family (typed by its # TYPE line, "untyped" otherwise). Duplicate
+// scalar samples for one name, unparseable lines, and non-numeric values
+// are errors — a daemon scrape is a contract, not best-effort text.
+func ParseExposition(r io.Reader) (*Scrape, error) {
+	s := &Scrape{Families: make(map[string]*Family)}
+	histograms := make(map[string]*Family) // declared via # TYPE ... histogram
+	seenScalar := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := s.parseComment(line, histograms); err != nil {
+				return nil, fmt.Errorf("obs: exposition line %d: %w", lineno, err)
+			}
+			continue
+		}
+		if err := s.parseSample(line, histograms, seenScalar); err != nil {
+			return nil, fmt.Errorf("obs: exposition line %d: %w", lineno, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading exposition: %w", err)
+	}
+	// Validate in sorted order so which malformed histogram is reported
+	// does not depend on map iteration order.
+	hnames := make([]string, 0, len(histograms))
+	for name := range histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		if err := checkBuckets(histograms[name]); err != nil {
+			return nil, fmt.Errorf("obs: histogram %s: %w", name, err)
+		}
+	}
+	return s, nil
+}
+
+// parseComment handles # HELP / # TYPE lines (other comments are skipped,
+// as the format allows).
+func (s *Scrape) parseComment(line string, histograms map[string]*Family) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return nil // free-form comment
+	}
+	name := fields[2]
+	if !validMetricName(name) {
+		return fmt.Errorf("invalid metric name %q in %s line", name, fields[1])
+	}
+	f := s.family(name)
+	if fields[1] == "HELP" {
+		if len(fields) == 4 {
+			f.Help = fields[3]
+		}
+		return nil
+	}
+	typ := ""
+	if len(fields) == 4 {
+		typ = strings.TrimSpace(fields[3])
+	}
+	switch typ {
+	case kindCounter, kindGauge, "untyped", "summary":
+		f.Type = typ
+	case kindHistogram:
+		f.Type = kindHistogram
+		histograms[name] = f
+	default:
+		return fmt.Errorf("unknown metric type %q for %s", typ, name)
+	}
+	return nil
+}
+
+// parseSample handles one `name[{labels}] value [timestamp]` line.
+func (s *Scrape) parseSample(line string, histograms map[string]*Family, seenScalar map[string]bool) error {
+	name, labels, rest, err := splitSample(line)
+	if err != nil {
+		return err
+	}
+	valStr := rest
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		valStr = rest[:i] // drop the optional timestamp
+	}
+	val, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return fmt.Errorf("sample %s: bad value %q", name, valStr)
+	}
+	// Histogram series attach to the family their base name declared.
+	for _, suffix := range [...]string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		h, ok := histograms[base]
+		if !ok {
+			continue // a scalar that merely ends in _count, e.g. foo_usec_count without a TYPE
+		}
+		switch suffix {
+		case "_bucket":
+			le, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %s: bucket sample without le label", base)
+			}
+			bound, err := parseLE(le)
+			if err != nil {
+				return fmt.Errorf("histogram %s: %w", base, err)
+			}
+			h.Buckets = append(h.Buckets, Bucket{LE: bound, Cum: val})
+		case "_sum":
+			h.Sum = val
+		case "_count":
+			h.Count = val
+		}
+		return nil
+	}
+	if len(labels) > 0 {
+		// Labeled scalar series (foreign exporters): keep the first sample
+		// of the family and ignore the rest — this repository's own
+		// exposition never emits labeled scalars.
+		f := s.family(name)
+		if !seenScalar[name] {
+			f.Value = val
+			seenScalar[name] = true
+		}
+		return nil
+	}
+	if seenScalar[name] {
+		return fmt.Errorf("duplicate sample for %s", name)
+	}
+	seenScalar[name] = true
+	s.family(name).Value = val
+	return nil
+}
+
+// family returns (creating if needed) the named family; new families start
+// untyped until a # TYPE line says otherwise.
+func (s *Scrape) family(name string) *Family {
+	if f, ok := s.Families[name]; ok {
+		return f
+	}
+	f := &Family{Name: name, Type: "untyped"}
+	s.Families[name] = f
+	return f
+}
+
+// checkBuckets validates a reassembled histogram: at least the +Inf
+// bucket, strictly ascending bounds, non-decreasing cumulative counts,
+// and a _count sample agreeing with the +Inf bucket.
+func checkBuckets(f *Family) error {
+	if len(f.Buckets) == 0 {
+		return fmt.Errorf("declared histogram has no bucket samples")
+	}
+	for i := 1; i < len(f.Buckets); i++ {
+		if !(f.Buckets[i].LE > f.Buckets[i-1].LE) {
+			return fmt.Errorf("bucket bounds not ascending at %v", f.Buckets[i].LE)
+		}
+		if f.Buckets[i].Cum < f.Buckets[i-1].Cum {
+			return fmt.Errorf("cumulative count decreases at le=%v", f.Buckets[i].LE)
+		}
+	}
+	last := f.Buckets[len(f.Buckets)-1]
+	if !math.IsInf(last.LE, 1) {
+		return fmt.Errorf("missing +Inf bucket")
+	}
+	if f.Count != last.Cum {
+		return fmt.Errorf("_count %v disagrees with +Inf bucket %v", f.Count, last.Cum)
+	}
+	return nil
+}
+
+// splitSample splits a sample line into name, parsed labels, and the
+// remainder (value and optional timestamp).
+func splitSample(line string) (string, map[string]string, string, error) {
+	nameEnd := 0
+	for nameEnd < len(line) && isNameChar(line[nameEnd], nameEnd == 0) {
+		nameEnd++
+	}
+	if nameEnd == 0 {
+		return "", nil, "", fmt.Errorf("unparseable sample line %q", line)
+	}
+	name := line[:nameEnd]
+	rest := line[nameEnd:]
+	var labels map[string]string
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return "", nil, "", fmt.Errorf("sample %s: unterminated label set", name)
+		}
+		var err error
+		if labels, err = parseLabels(rest[1:end]); err != nil {
+			return "", nil, "", fmt.Errorf("sample %s: %w", name, err)
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	if rest == "" {
+		return "", nil, "", fmt.Errorf("sample %s: missing value", name)
+	}
+	return name, labels, rest, nil
+}
+
+// parseLabels parses `k1="v1",k2="v2"` (escapes \\, \", \n as the format
+// defines; this repository only ever emits the le label).
+func parseLabels(s string) (map[string]string, error) {
+	labels := make(map[string]string)
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq <= 0 {
+			return nil, fmt.Errorf("bad label pair in %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, fmt.Errorf("unquoted label value for %s", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(s) {
+			return nil, fmt.Errorf("unterminated label value for %s", key)
+		}
+		labels[key] = val.String()
+		s = strings.TrimPrefix(s[i+1:], ",")
+		s = strings.TrimSpace(s)
+	}
+	return labels, nil
+}
+
+func parseLE(le string) (float64, error) {
+	if le == "+Inf" {
+		return math.Inf(1), nil
+	}
+	bound, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le label %q", le)
+	}
+	return bound, nil
+}
+
+func validMetricName(name string) bool {
+	for i := 0; i < len(name); i++ {
+		if !isNameChar(name[i], i == 0) {
+			return false
+		}
+	}
+	return name != ""
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestParseExpositionRoundTrip parses WritePrometheus output and requires
+// every registered value to come back exactly: scalars, histogram
+// bucket/sum/count reassembly, and quantile readouts reproduced from the
+// parsed buckets matching the emitted _p50/_p99/_p999 gauges.
+func TestParseExpositionRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("t_requests_total", "requests served")
+	g := reg.Gauge("t_queue_depth", "live queue depth")
+	reg.GaugeFunc("t_workers", "worker count", func() int64 { return 7 })
+	h := reg.Histogram("t_latency_usec", "request latency")
+	c.Add(41)
+	g.Set(-3)
+	for i := int64(0); i < 200; i++ {
+		h.Observe(i * 37 % 5000)
+	}
+	h.Observe(10_000_000_000) // overflow bucket
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parsing own exposition: %v\n%s", err, buf.String())
+	}
+
+	for _, tc := range []struct {
+		name string
+		want float64
+	}{
+		{"t_requests_total", 41},
+		{"t_queue_depth", -3},
+		{"t_workers", 7},
+	} {
+		got, ok := s.Value(tc.name)
+		if !ok || got != tc.want {
+			t.Errorf("Value(%s) = %v,%v want %v", tc.name, got, ok, tc.want)
+		}
+	}
+
+	f, ok := s.Histogram("t_latency_usec")
+	if !ok {
+		t.Fatalf("histogram family missing; families: %v", s.Names())
+	}
+	if f.Type != "histogram" {
+		t.Errorf("family type = %q", f.Type)
+	}
+	if int64(f.Count) != h.Count() {
+		t.Errorf("parsed count %v, live %d", f.Count, h.Count())
+	}
+	if int64(f.Sum) != h.Sum() {
+		t.Errorf("parsed sum %v, live %d", f.Sum, h.Sum())
+	}
+	if len(f.Buckets) != len(LatencyBuckets)+1 {
+		t.Fatalf("parsed %d buckets, want %d", len(f.Buckets), len(LatencyBuckets)+1)
+	}
+	if last := f.Buckets[len(f.Buckets)-1]; !math.IsInf(last.LE, 1) {
+		t.Fatalf("last bucket bound %v, want +Inf", last.LE)
+	}
+	for _, q := range []struct {
+		p string
+		q float64
+	}{{"_p50", 0.50}, {"_p99", 0.99}, {"_p999", 0.999}} {
+		emitted, ok := s.Value("t_latency_usec" + q.p)
+		if !ok {
+			t.Fatalf("emitted quantile gauge %s missing", q.p)
+		}
+		if got := f.Quantile(q.q); got != emitted {
+			t.Errorf("Quantile(%v) from buckets = %v, emitted gauge = %v", q.q, got, emitted)
+		}
+		if live := float64(h.Quantile(q.q)); live != emitted {
+			t.Errorf("live Quantile(%v) = %v, emitted gauge = %v", q.q, live, emitted)
+		}
+	}
+}
+
+func TestParseExpositionForeignFeatures(t *testing.T) {
+	doc := strings.Join([]string{
+		`# some free-form comment`,
+		`# HELP api_errors total errors, with  double  spaces`,
+		`# TYPE api_errors counter`,
+		`api_errors 12 1712345678901`, // trailing timestamp
+		`# TYPE up untyped`,
+		`up{instance="a:9090",job="x\"y\\z"} 1`, // labeled scalar with escapes
+		`no_type_line 4.5e3`,
+		``,
+	}, "\n")
+	s, err := ParseExposition(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Value("api_errors"); !ok || v != 12 {
+		t.Errorf("api_errors = %v,%v", v, ok)
+	}
+	if f := s.Families["api_errors"]; f.Help != "total errors, with  double  spaces" {
+		t.Errorf("help = %q", f.Help)
+	}
+	if v, ok := s.Value("up"); !ok || v != 1 {
+		t.Errorf("up = %v,%v", v, ok)
+	}
+	if v, ok := s.Value("no_type_line"); !ok || v != 4500 {
+		t.Errorf("no_type_line = %v,%v", v, ok)
+	}
+	if f := s.Families["no_type_line"]; f.Type != "untyped" {
+		t.Errorf("no_type_line type = %q", f.Type)
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"garbage line", "!!!not a metric 3\n"},
+		{"missing value", "foo_total\n"},
+		{"non-numeric value", "foo_total banana\n"},
+		{"duplicate scalar", "foo 1\nfoo 2\n"},
+		{"unterminated labels", `foo{le="1 3` + "\n"},
+		{"histogram without buckets", "# TYPE h histogram\nh_sum 0\nh_count 0\n"},
+		{"bucket without le", "# TYPE h histogram\nh_bucket{x=\"1\"} 0\n"},
+		{"count disagrees with +Inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 2\n"},
+		{"decreasing cumulative", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n"},
+		{"unknown type", "# TYPE h rainbow\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseExposition(strings.NewReader(tc.doc)); err == nil {
+				t.Fatalf("parsed malformed doc without error:\n%s", tc.doc)
+			}
+		})
+	}
+}
+
+func TestDeltaHistogram(t *testing.T) {
+	h := NewHistogram()
+	// scrape renders h through the real exposition writer and re-parses it,
+	// so the delta test covers render + parse + diff together.
+	scrape := func() *Family {
+		var buf bytes.Buffer
+		buf.WriteString("# TYPE d_usec histogram\n")
+		buf.Write(h.appendPrometheus(nil, "d_usec"))
+		s, err := ParseExposition(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, ok := s.Histogram("d_usec")
+		if !ok {
+			t.Fatal("histogram missing")
+		}
+		return f
+	}
+
+	for i := 0; i < 50; i++ {
+		h.Observe(2)
+	}
+	first := scrape()
+	for i := 0; i < 5; i++ {
+		h.Observe(2000)
+	}
+	second := scrape()
+
+	d, err := DeltaHistogram(second, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count != 5 {
+		t.Fatalf("delta count = %v, want 5", d.Count)
+	}
+	if d.Sum != 5*2000 {
+		t.Fatalf("delta sum = %v, want %d", d.Sum, 5*2000)
+	}
+	if got := d.Quantile(0.5); got != 2000 {
+		t.Fatalf("delta p50 = %v, want 2000", got)
+	}
+	// nil prev = "since the beginning".
+	full, err := DeltaHistogram(second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Count != 55 {
+		t.Fatalf("full count = %v, want 55", full.Count)
+	}
+	// Mismatched layouts are an error, not silent garbage.
+	short := &Family{Name: "d_usec", Type: "histogram", Buckets: []Bucket{{LE: math.Inf(1), Cum: 1}}, Count: 1}
+	if _, err := DeltaHistogram(second, short); err == nil {
+		t.Fatal("mismatched bucket layouts did not error")
+	}
+}

@@ -67,6 +67,24 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if total == 0 {
 		return 0
 	}
+	rank := quantileRank(q, total)
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i >= len(LatencyBuckets) {
+				return LatencyBuckets[len(LatencyBuckets)-1]
+			}
+			return LatencyBuckets[i]
+		}
+	}
+	return LatencyBuckets[len(LatencyBuckets)-1]
+}
+
+// quantileRank turns a quantile into a 1-based rank over total
+// observations: the index of the ceil(q·total)-th smallest sample, clamped
+// to [1, total].
+func quantileRank(q float64, total int64) int64 {
 	rank := int64(q * float64(total))
 	if float64(rank) < q*float64(total) {
 		rank++
@@ -77,9 +95,75 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if rank > total {
 		rank = total
 	}
-	var cum int64
+	return rank
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's buckets —
+// plain int64s, detached from the live atomics, so interval reporters can
+// difference two snapshots without racing concurrent Observe calls.
+type HistogramSnapshot struct {
+	// Counts holds per-bucket (NON-cumulative) observation counts in the
+	// LatencyBuckets layout; the extra last slot is the +Inf overflow.
+	Counts []int64
+	// Count is the total number of observations in Counts.
+	Count int64
+	// Sum is the sum of observed values. Under concurrent observation it
+	// may lag or lead Counts by in-flight observations (the buckets and
+	// the sum are separate atomics); Count is always consistent with
+	// Counts.
+	Sum int64
+}
+
+// Snapshot copies the histogram's current bucket counts. Each bucket is
+// loaded atomically; a concurrent Observe lands either entirely before or
+// entirely after its bucket's load, and because buckets only grow, the
+// delta between two successive snapshots is non-negative bucket by bucket.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Counts: make([]int64, len(h.counts)), Sum: h.sum.Load()}
 	for i := range h.counts {
-		cum += h.counts[i].Load()
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// Delta returns the interval view s−prev: observations recorded after prev
+// was taken and up to s. prev must be an earlier snapshot of the same
+// histogram (the zero HistogramSnapshot works as "since the beginning").
+// Negative per-bucket deltas — snapshots from different histograms, or
+// swapped arguments — clamp to zero rather than poisoning rate math.
+func (s HistogramSnapshot) Delta(prev HistogramSnapshot) HistogramSnapshot {
+	d := HistogramSnapshot{Counts: make([]int64, len(s.Counts)), Sum: s.Sum - prev.Sum}
+	for i := range s.Counts {
+		v := s.Counts[i]
+		if i < len(prev.Counts) {
+			v -= prev.Counts[i]
+		}
+		if v < 0 {
+			v = 0
+		}
+		d.Counts[i] = v
+		d.Count += v
+	}
+	if d.Sum < 0 {
+		d.Sum = 0
+	}
+	return d
+}
+
+// Quantile reads the q-quantile (0 < q <= 1) from the snapshot with the
+// same bucket-upper-bound semantics as Histogram.Quantile: never below the
+// true sample quantile, at most one bucket ratio above it, overflow
+// reported as the last finite bound, 0 when empty.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := quantileRank(q, s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
 		if cum >= rank {
 			if i >= len(LatencyBuckets) {
 				return LatencyBuckets[len(LatencyBuckets)-1]

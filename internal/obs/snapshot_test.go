@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotQuantileBucketEdges pins the quantile readout exactly at
+// bucket boundaries: an observation equal to a bound lands in that bound's
+// bucket (sort.Search uses >=), one past it lands in the next, and the
+// snapshot readout agrees with the live histogram's.
+func TestSnapshotQuantileBucketEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		obs  []int64
+		q    float64
+		want int64
+	}{
+		{"exact bound", []int64{5}, 0.5, 5},
+		{"one past bound", []int64{6}, 0.5, 10},
+		{"zero lands in first bucket", []int64{0}, 0.5, 1},
+		{"negative clamps to zero", []int64{-7}, 0.5, 1},
+		{"median of two edge values", []int64{2, 5}, 0.5, 2},
+		{"p99 of uniform bounds", []int64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}, 0.99, 1000},
+		{"p50 rank rounds up", []int64{1, 1, 1, 1000}, 0.5, 1},
+		{"overflow reports last finite bound", []int64{10_000_000_000}, 1.0, 5_000_000_000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram()
+			for _, v := range tc.obs {
+				h.Observe(v)
+			}
+			if got := h.Quantile(tc.q); got != tc.want {
+				t.Errorf("live Quantile(%v) = %d, want %d", tc.q, got, tc.want)
+			}
+			if got := h.Snapshot().Quantile(tc.q); got != tc.want {
+				t.Errorf("snapshot Quantile(%v) = %d, want %d", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	h := NewHistogram()
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 {
+		t.Fatalf("empty snapshot has count=%d sum=%d", s.Count, s.Sum)
+	}
+	if got := s.Quantile(0.99); got != 0 {
+		t.Fatalf("empty snapshot quantile = %d, want 0", got)
+	}
+	// The zero value works as the "since the beginning" baseline.
+	if d := s.Delta(HistogramSnapshot{}); d.Count != 0 {
+		t.Fatalf("delta from zero snapshot has count %d", d.Count)
+	}
+}
+
+// TestSnapshotDelta proves the interval story loadgen relies on: the delta
+// between two snapshots covers exactly the observations in between, and
+// its quantiles are computed over the interval, not the lifetime.
+func TestSnapshotDelta(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(1) // first interval: all fast
+	}
+	first := h.Snapshot()
+	for i := 0; i < 10; i++ {
+		h.Observe(5000) // second interval: all slow
+	}
+	second := h.Snapshot()
+
+	d := second.Delta(first)
+	if d.Count != 10 {
+		t.Fatalf("interval count = %d, want 10", d.Count)
+	}
+	if d.Sum != 10*5000 {
+		t.Fatalf("interval sum = %d, want %d", d.Sum, 10*5000)
+	}
+	if got := d.Quantile(0.5); got != 5000 {
+		t.Fatalf("interval p50 = %d, want 5000 (lifetime would be 1)", got)
+	}
+	if got := second.Quantile(0.5); got != 1 {
+		t.Fatalf("lifetime p50 = %d, want 1", got)
+	}
+	// Deltas never go negative even with the arguments swapped.
+	rev := first.Delta(second)
+	if rev.Count != 0 || rev.Sum != 0 {
+		t.Fatalf("swapped delta count=%d sum=%d, want 0,0", rev.Count, rev.Sum)
+	}
+	for i, c := range rev.Counts {
+		if c < 0 {
+			t.Fatalf("swapped delta bucket %d is negative: %d", i, c)
+		}
+	}
+}
+
+func TestSnapshotIsDetached(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(3)
+	s := h.Snapshot()
+	before := append([]int64(nil), s.Counts...)
+	h.Observe(3)
+	h.Observe(7)
+	if !reflect.DeepEqual(s.Counts, before) {
+		t.Fatal("snapshot mutated by later observations")
+	}
+	if s.Count != 1 {
+		t.Fatalf("snapshot count = %d, want 1", s.Count)
+	}
+}

@@ -97,24 +97,25 @@ type Client struct {
 // byte-identical crawl records at the same seed.
 type Stats struct {
 	// NodesFetched, Requests mirror the accessor methods.
-	NodesFetched int64
-	Requests     int64
+	NodesFetched int64 `json:"nodes_fetched"`
+	Requests     int64 `json:"requests"`
 	// Retries counts HTTP attempts beyond each request's first; RateLimited
-	// counts 429 answers; Backoff is the total time slept between attempts.
-	Retries     int64
-	RateLimited int64
-	Backoff     time.Duration
+	// counts 429 answers; Backoff is the total time slept between attempts
+	// (serialized in nanoseconds, time.Duration's integer form).
+	Retries     int64         `json:"retries"`
+	RateLimited int64         `json:"rate_limited"`
+	Backoff     time.Duration `json:"backoff_ns"`
 	// CacheHits counts Neighbors calls answered without a fetch (lifetime
 	// cache, journal replays included). PrefetchBatches/PrefetchNodes count
 	// batched warm-up requests and the nodes they claimed.
-	CacheHits       int64
-	PrefetchBatches int64
-	PrefetchNodes   int64
+	CacheHits       int64 `json:"cache_hits"`
+	PrefetchBatches int64 `json:"prefetch_batches"`
+	PrefetchNodes   int64 `json:"prefetch_nodes"`
 	// Queries is the latency-histogram population; QueryP50/QueryP99 are
 	// its quantile readouts (upper bucket bounds, so never optimistic).
-	Queries  int64
-	QueryP50 time.Duration
-	QueryP99 time.Duration
+	Queries  int64         `json:"queries"`
+	QueryP50 time.Duration `json:"query_p50_ns"`
+	QueryP99 time.Duration `json:"query_p99_ns"`
 }
 
 // Stats snapshots the client's transport telemetry.

@@ -7,6 +7,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"time"
 
 	"sgr/internal/daemon"
 	"sgr/internal/graph"
@@ -27,16 +28,29 @@ func NewServer(svc *Service) *Server { return &Server{svc: svc} }
 // Handler returns the HTTP handler implementing the wire protocol.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /v1/jobs/{id}/graph", s.handleGraph)
-	mux.HandleFunc("GET /v1/jobs/{id}/props", s.handleProps)
-	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("POST /v1/jobs", s.timed(s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.timed(s.handleStatus))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.timed(s.handleCancel))
+	mux.HandleFunc("GET /v1/jobs/{id}/graph", s.timed(s.handleGraph))
+	mux.HandleFunc("GET /v1/jobs/{id}/props", s.timed(s.handleProps))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.timed(s.handleTrace))
 	// Load-balancer endpoints, shared with graphd via internal/daemon.
+	// Deliberately untimed, matching graphd: restored_request_usec is
+	// data-endpoint service time, not scrape/probe overhead.
 	mux.Handle("GET /v1/healthz", daemon.HealthzHandler(s.svc.Healthz))
 	mux.Handle("GET /v1/metrics", daemon.MetricsHandler(s.svc.Registry()))
 	return mux
+}
+
+// timed records a job endpoint's service time on restored_request_usec —
+// the server-side counterpart of a load generator's client-observed
+// latency (the difference between the two is queueing and the wire).
+func (s *Server) timed(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		s.svc.requestUsec.Observe(time.Since(start).Microseconds())
+	}
 }
 
 // handleSubmit accepts a JobSpec. A new job answers 202 Accepted; a

@@ -131,6 +131,7 @@ type Service struct {
 	pipelineUsec *obs.Histogram // per-run pipeline wall clock
 	rewireUsec   *obs.Histogram // per-run phase-4 wall clock
 	encodeUsec   *obs.Histogram // per-run binary encode wall clock
+	requestUsec  *obs.Histogram // per-request service time on job endpoints
 
 	// testBeforeRun, when set (tests only), runs at the top of every
 	// worker execution — a seam for stalling workers deterministically.
@@ -218,6 +219,7 @@ func New(cfg Config) (*Service, error) {
 	s.pipelineUsec = s.reg.Histogram("restored_pipeline_usec", "pipeline execution wall clock per run, microseconds")
 	s.rewireUsec = s.reg.Histogram("restored_rewire_usec", "phase-4 rewiring wall clock per run, microseconds")
 	s.encodeUsec = s.reg.Histogram("restored_encode_usec", "binary graph encoding wall clock per run, microseconds")
+	s.requestUsec = s.reg.Histogram("restored_request_usec", "job-endpoint service time in microseconds (healthz/metrics excluded)")
 	s.reg.GaugeFunc("restored_jobs_queued", "queued-but-not-running jobs", func() int64 {
 		return int64(len(s.queue))
 	})

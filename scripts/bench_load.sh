@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# bench_load.sh — records BENCH_load.json, the workload-trajectory
+# baseline: boots graphd + restored on random ports, drives the standard
+# seeded loadgen mix at them, and writes the full correlated SLO report
+# (client histograms, server scrape deltas, cross-checks, verdict) to the
+# repository root. Run by `make bench-load-json`; CI uploads the file as
+# an artifact so the serving-stack latency trajectory is tracked per
+# commit, alongside the micro-benchmark BENCH_*.json baselines.
+#
+# The SLO in scripts/slo_load.json is deliberately generous — wide enough
+# for a loaded CI runner — because this baseline's job is to *record* the
+# trajectory and fail only on gross regressions (errors, mismatched
+# counters, order-of-magnitude latency blowups), not to flake on noisy
+# neighbors.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+. scripts/lib.sh
+
+out=${1:-BENCH_load.json}
+tmp=$(mktemp -d)
+graphd_pid=""
+restored_pid=""
+cleanup() {
+  [ -n "$graphd_pid" ] && kill "$graphd_pid" 2>/dev/null || true
+  [ -n "$restored_pid" ] && kill "$restored_pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== building =="
+go build -o "$tmp/gengraph" ./cmd/gengraph
+go build -o "$tmp/crawl" ./cmd/crawl
+go build -o "$tmp/loadgen" ./cmd/loadgen
+go build -o "$tmp/graphd" ./cmd/graphd
+go build -o "$tmp/restored" ./cmd/restored
+
+echo "== generating graph, booting daemons =="
+"$tmp/gengraph" -dataset anybeat -scale 0.1 -seed 3 -out "$tmp/g.edges"
+"$tmp/graphd" -graph "$tmp/g.edges" -addr 127.0.0.1:0 -addr-file "$tmp/graphd.addr" \
+  >"$tmp/graphd.log" 2>&1 &
+graphd_pid=$!
+"$tmp/restored" -addr 127.0.0.1:0 -addr-file "$tmp/restored.addr" \
+  >"$tmp/restored.log" 2>&1 &
+restored_pid=$!
+wait_for_addr_file "$tmp/graphd.addr" "$graphd_pid" "$tmp/graphd.log"
+wait_for_addr_file "$tmp/restored.addr" "$restored_pid" "$tmp/restored.log"
+gurl="http://$(cat "$tmp/graphd.addr")"
+rurl="http://$(cat "$tmp/restored.addr")"
+
+"$tmp/crawl" -graph "$tmp/g.edges" -method rw -fraction 0.1 -seed 3 \
+  -save-crawl "$tmp/crawl.json" -out /dev/null
+
+echo "== recording the load trajectory =="
+"$tmp/loadgen" -graphd "$gurl" -restored "$rurl" -crawl "$tmp/crawl.json" \
+  -seed 1 -clients 16 -rate 200 -duration 5s -rc 2 \
+  -slo scripts/slo_load.json -out "$out"
+jq -e '.slo.pass and (.correlation | all(.checked and .consistent))' "$out" >/dev/null \
+  || { echo "load baseline unhealthy:"; jq '{slo: .slo.pass, correlation}' "$out"; exit 1; }
+
+kill "$graphd_pid" "$restored_pid"
+wait "$graphd_pid" 2>/dev/null || true
+wait "$restored_pid" 2>/dev/null || true
+graphd_pid=""
+restored_pid=""
+echo "recorded $out"

@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# loadgen_e2e.sh — the workload-observability acceptance gate, run by
+# `make loadgen-e2e` and CI's oracle-integration job:
+#
+#   1. generate a graph and boot race-enabled graphd + restored daemons on
+#      random ports,
+#   2. crawl graphd over HTTP with -stats-json and require the transport
+#      stats to be machine-readable and populated,
+#   3. run a short seeded loadgen swarm twice with the same seed and
+#      require the two runs' schedule hashes to be identical (the
+#      determinism contract: same seed + config = same request schedule),
+#   4. require the SLO report well-formed: endpoints populated, both
+#      server scrapes parsed, and every client<->server correlation check
+#      consistent (server counter deltas exactly explain the client's
+#      observed successes),
+#   5. require a generous SLO to pass (exit 0) and an unattainable SLO to
+#      fail with exit 2 — the two exits CI automation keys on.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+. scripts/lib.sh
+
+tmp=$(mktemp -d)
+graphd_pid=""
+restored_pid=""
+cleanup() {
+  [ -n "$graphd_pid" ] && kill "$graphd_pid" 2>/dev/null || true
+  [ -n "$restored_pid" ] && kill "$restored_pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== building (daemons with -race) =="
+go build -o "$tmp/gengraph" ./cmd/gengraph
+go build -o "$tmp/crawl" ./cmd/crawl
+go build -o "$tmp/loadgen" ./cmd/loadgen
+go build -race -o "$tmp/graphd" ./cmd/graphd
+go build -race -o "$tmp/restored" ./cmd/restored
+
+echo "== generating graph, booting daemons on random ports =="
+"$tmp/gengraph" -dataset anybeat -scale 0.05 -seed 3 -out "$tmp/g.edges"
+"$tmp/graphd" -graph "$tmp/g.edges" -addr 127.0.0.1:0 -addr-file "$tmp/graphd.addr" \
+  >"$tmp/graphd.log" 2>&1 &
+graphd_pid=$!
+"$tmp/restored" -addr 127.0.0.1:0 -addr-file "$tmp/restored.addr" -workers 2 \
+  >"$tmp/restored.log" 2>&1 &
+restored_pid=$!
+wait_for_addr_file "$tmp/graphd.addr" "$graphd_pid" "$tmp/graphd.log"
+wait_for_addr_file "$tmp/restored.addr" "$restored_pid" "$tmp/restored.log"
+gurl="http://$(cat "$tmp/graphd.addr")"
+rurl="http://$(cat "$tmp/restored.addr")"
+echo "graphd at $gurl, restored at $rurl"
+
+echo "== remote crawl with -stats-json =="
+"$tmp/crawl" -url "$gurl" -method rw -fraction 0.1 -seed 3 \
+  -save-crawl "$tmp/crawl.json" -stats-json "$tmp/crawl-stats.json" -out /dev/null
+jq -e '.nodes_fetched > 0 and .requests > 0 and .queries > 0 and .query_p50_ns >= 0' \
+  "$tmp/crawl-stats.json" >/dev/null \
+  || { echo "crawl -stats-json not populated:"; cat "$tmp/crawl-stats.json"; exit 1; }
+echo "crawl stats JSON: $(jq -c '{nodes_fetched, requests, queries}' "$tmp/crawl-stats.json")"
+
+echo "== seeded loadgen swarm, twice with the same seed =="
+cat > "$tmp/slo.json" <<'EOF'
+{
+  "max_error_rate": 0,
+  "endpoints": {
+    "graphd_neighbors": {"p99_usec": 30000000, "min_throughput_rps": 1},
+    "restored_submit": {"p99_usec": 30000000}
+  }
+}
+EOF
+run_loadgen() {
+  "$tmp/loadgen" -graphd "$gurl" -restored "$rurl" -crawl "$tmp/crawl.json" \
+    -seed 7 -clients 8 -rate 90 -duration 2s -rc 2 -slo "$tmp/slo.json" \
+    -out "$1" -q
+}
+run_loadgen "$tmp/report1.json"
+run_loadgen "$tmp/report2.json"
+
+hash1=$(jq -r .schedule.hash "$tmp/report1.json")
+hash2=$(jq -r .schedule.hash "$tmp/report2.json")
+[ -n "$hash1" ] && [ "$hash1" != null ] || { echo "report has no schedule hash"; exit 1; }
+[ "$hash1" = "$hash2" ] \
+  || { echo "same seed produced different schedules: $hash1 vs $hash2"; exit 1; }
+echo "schedule hash stable across runs: ${hash1:0:12}..."
+
+echo "== report well-formed: endpoints, server scrapes, correlation =="
+rep="$tmp/report1.json"
+jq -e '.schedule.events > 0' "$rep" >/dev/null || { echo "no events"; exit 1; }
+jq -e '[.endpoints[] | select(.requests > 0)] | length >= 4' "$rep" >/dev/null \
+  || { echo "fewer than 4 endpoints saw traffic:"; jq .endpoints "$rep"; exit 1; }
+jq -e '.endpoints[] | select(.endpoint == "graphd_neighbors") | .ok > 0 and .p99_usec > 0' "$rep" >/dev/null \
+  || { echo "neighbor endpoint unhealthy:"; jq .endpoints "$rep"; exit 1; }
+jq -e '.servers.graphd.scrape_ok and .servers.restored.scrape_ok' "$rep" >/dev/null \
+  || { echo "server scrape failed:"; jq .servers "$rep"; exit 1; }
+jq -e '.servers.restored.histograms["restored_request_usec"].count > 0' "$rep" >/dev/null \
+  || { echo "restored_request_usec histogram empty in scrape delta:"; jq .servers.restored "$rep"; exit 1; }
+jq -e '.correlation | length == 2 and all(.checked and .consistent)' "$rep" >/dev/null \
+  || { echo "correlation checks failed:"; jq .correlation "$rep"; exit 1; }
+echo "correlation: $(jq -c '[.correlation[] | {name, client_expected, server_observed}]' "$rep")"
+
+echo "== SLO verdicts: generous passes, unattainable fails with exit 2 =="
+jq -e '.slo.pass == true' "$rep" >/dev/null \
+  || { echo "generous SLO did not pass:"; jq .slo "$rep"; exit 1; }
+cat > "$tmp/slo-tight.json" <<'EOF'
+{"endpoints": {"graphd_neighbors": {"p99_usec": 1}}}
+EOF
+set +e
+"$tmp/loadgen" -graphd "$gurl" -crawl "$tmp/crawl.json" \
+  -seed 7 -clients 4 -rate 40 -duration 1s -slo "$tmp/slo-tight.json" \
+  -out "$tmp/report-fail.json" -q
+code=$?
+set -e
+[ "$code" = 2 ] || { echo "unattainable SLO exited $code, want 2"; exit 1; }
+jq -e '.slo.pass == false and ([.slo.checks[] | select(.pass | not)] | length >= 1)' \
+  "$tmp/report-fail.json" >/dev/null \
+  || { echo "failing report lacks failed checks:"; jq .slo "$tmp/report-fail.json"; exit 1; }
+echo "SLO fail path: exit 2 with $(jq '[.slo.checks[] | select(.pass | not)] | length' "$tmp/report-fail.json") failed check(s)"
+
+kill "$graphd_pid" "$restored_pid"
+wait "$graphd_pid" 2>/dev/null || true
+wait "$restored_pid" 2>/dev/null || true
+graphd_pid=""
+restored_pid=""
+echo "loadgen e2e: OK"
